@@ -1,0 +1,132 @@
+"""Design-choice ablations called out in DESIGN.md §5.
+
+* Hardware checksum unit (§5.1) vs software checksumming on the CAB CPU.
+* Byte-stream window size (flow-control headroom on the bandwidth-delay
+  product).
+* Interrupt-per-message (§3.1): Nectar interrupts the node once per
+  *message*; the driver interface interrupts once per *packet*.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from nectar_bench import measure_node_to_node
+from repro.config import NectarConfig
+from repro.sim import units
+from repro.stats import ExperimentTable
+from repro.topology import single_hub_system
+
+
+def stream_throughput(cfg=None, size=64_000):
+    system = single_hub_system(2, cfg=cfg)
+    a, b = system.cab("cab0"), system.cab("cab1")
+    inbox = b.create_mailbox("inbox")
+    state = {}
+
+    def receiver():
+        yield from b.kernel.wait(inbox.get())
+        state["t"] = system.now
+    b.spawn(receiver())
+    connection = a.transport.stream.connect("cab1", "inbox")
+
+    def sender():
+        state["t0"] = system.now
+        yield from connection.send(size=size)
+    a.spawn(sender())
+    system.run(until=60_000_000_000)
+    return units.throughput_mbps(size, state["t"] - state["t0"])
+
+
+@pytest.mark.benchmark(group="ablation-checksum")
+def test_ablation_hardware_checksum(benchmark):
+    def scenario():
+        hw_cfg = NectarConfig()
+        sw_cfg = hw_cfg.with_overrides(
+            cab=replace(hw_cfg.cab, hardware_checksum=False))
+        return {
+            "hw_mbps": stream_throughput(hw_cfg),
+            "sw_mbps": stream_throughput(sw_cfg),
+        }
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    result["gain"] = result["hw_mbps"] / result["sw_mbps"]
+    benchmark.extra_info.update(result)
+    table = ExperimentTable("A1", "Hardware vs software checksum (§5.1)")
+    table.add("hardware unit (overlapped)", "full rate",
+              f"{result['hw_mbps']:.1f} Mb/s")
+    table.add("software on 16 MHz CPU", "CPU-bound",
+              f"{result['sw_mbps']:.1f} Mb/s",
+              result["sw_mbps"] < result["hw_mbps"])
+    table.add("hardware gain", "> 1.5×", f"{result['gain']:.1f}×",
+              result["gain"] > 1.5)
+    table.print()
+    assert result["gain"] > 1.5
+
+
+@pytest.mark.benchmark(group="ablation-window")
+def test_ablation_stream_window(benchmark):
+    def scenario():
+        rates = {}
+        for window in (1, 2, 8):
+            cfg = NectarConfig()
+            cfg = cfg.with_overrides(
+                transport=replace(cfg.transport, window_packets=window))
+            rates[window] = stream_throughput(cfg)
+        return rates
+    rates = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    for window, rate in rates.items():
+        benchmark.extra_info[f"window{window}"] = rate
+    table = ExperimentTable("A2", "Byte-stream window size (64 KB)")
+    for window, rate in sorted(rates.items()):
+        table.add(f"window = {window} packets", "larger is faster",
+                  f"{rate:.1f} Mb/s")
+    table.print()
+    assert rates[8] > rates[1]
+
+
+@pytest.mark.benchmark(group="ablation-interrupts")
+def test_ablation_interrupt_per_message_vs_per_packet(benchmark):
+    """§3.1: 'interrupts are required only for high-level events …
+    rather than low-level events'.  Shared-memory receives need no node
+    interrupts at all; the driver interface takes one per packet."""
+    def scenario(size=8_000):
+        system_counts = {}
+        for interface in ("shm", "driver"):
+            from nectar_bench import build_node_pair
+            from repro.nodeiface import (NetworkDriverInterface,
+                                         SharedMemoryInterface)
+            system, a, b = build_node_pair()
+            if interface == "shm":
+                ia, ib = SharedMemoryInterface(a), SharedMemoryInterface(b)
+                inbox = b.create_mailbox("inbox")
+
+                def receiver():
+                    yield from ib.receive(inbox)
+
+                def sender():
+                    yield from ia.send("cab1", "inbox", size=size)
+            else:
+                ia, ib = (NetworkDriverInterface(a),
+                          NetworkDriverInterface(b))
+                ib.open_port("inbox")
+
+                def receiver():
+                    yield from ib.receive("inbox")
+
+                def sender():
+                    yield from ia.send("cab1", "inbox", size=size)
+            system.node("node1").run(receiver(), "rx")
+            system.node("node0").run(sender(), "tx")
+            system.run(until=120_000_000_000)
+            system_counts[interface] = system.node("node1").interrupts
+        return system_counts
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    table = ExperimentTable("A3", "Node interrupts for an 8 KB message")
+    table.add("shared memory (poll)", "0 interrupts",
+              str(result["shm"]), result["shm"] == 0)
+    table.add("network driver", "1 per packet (9 packets)",
+              str(result["driver"]), result["driver"] >= 9)
+    table.print()
+    assert result["shm"] == 0
+    assert result["driver"] >= 9

@@ -1,0 +1,71 @@
+"""E6 — aggregate bandwidth of one HUB (Abstract, §1).
+
+Paper: "a star-shaped fiber-optic network with an aggregate bandwidth of
+1.6 gigabits/second" — 16 ports × 100 Mb/s.  Scenario: 16 CABs in a ring,
+everyone transmitting at once through the crossbar; the sum of achieved
+rates should approach 1.6 Gb/s.
+"""
+
+import pytest
+
+from repro.sim import units
+from repro.stats import ExperimentTable
+from repro.topology import single_hub_system
+
+
+def scenario_ring_all_to_all(message_bytes=200_000):
+    system = single_hub_system(16)
+    names = [f"cab{i}" for i in range(16)]
+    finish = {}
+
+    for index, name in enumerate(names):
+        dst = names[(index + 1) % 16]
+        receiver_stack = system.cab(dst)
+        receiver_stack.create_mailbox(f"from-{name}")
+
+    def make_receiver(stack, mailbox_name, key):
+        def body():
+            yield from stack.kernel.wait(
+                stack.transport.mailbox(mailbox_name).get())
+            finish[key] = system.now
+        return body
+
+    def make_sender(stack, dst, mailbox_name):
+        def body():
+            yield from stack.transport.datagram.send(
+                dst, mailbox_name, size=message_bytes, mode="circuit")
+        return body
+
+    for index, name in enumerate(names):
+        dst = names[(index + 1) % 16]
+        receiver_stack = system.cab(dst)
+        receiver_stack.spawn(
+            make_receiver(receiver_stack, f"from-{name}", name)(),
+            name=f"rx-{name}")
+        system.cab(name).spawn(
+            make_sender(system.cab(name), dst, f"from-{name}")(),
+            name=f"tx-{name}")
+    system.run(until=300_000_000)
+    assert len(finish) == 16, f"only {len(finish)} transfers completed"
+    elapsed = max(finish.values())
+    total_bytes = 16 * message_bytes
+    return {
+        "aggregate_mbps": units.throughput_mbps(total_bytes, elapsed),
+        "elapsed_ms": units.to_ms(elapsed),
+        "completed": len(finish),
+    }
+
+
+@pytest.mark.benchmark(group="E6-aggregate-bandwidth")
+def test_e6_sixteen_ports_at_line_rate(benchmark):
+    result = benchmark.pedantic(scenario_ring_all_to_all, rounds=1,
+                                iterations=1)
+    benchmark.extra_info.update(result)
+    table = ExperimentTable("E6", "Single-HUB aggregate bandwidth")
+    table.add("concurrent transfers", "16", str(result["completed"]),
+              result["completed"] == 16)
+    table.add("aggregate throughput", "1.6 Gb/s (16 × 100 Mb/s)",
+              f"{result['aggregate_mbps'] / 1000:.2f} Gb/s",
+              result["aggregate_mbps"] > 1_400)
+    table.print()
+    assert result["aggregate_mbps"] > 1_400

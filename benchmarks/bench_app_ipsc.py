@@ -1,0 +1,59 @@
+"""E21 — the iPSC library on Nectarine (§7).
+
+"To run hypercube applications on Nectar, we have implemented the Intel
+iPSC communication library on top of Nectarine."  The bench runs a
+hypercube all-reduce and a neighbour exchange on 8 ranks.
+"""
+
+import pytest
+
+from repro.ipsc import IpscLibrary
+from repro.nectarine import NectarineRuntime
+from repro.sim import units
+from repro.stats import ExperimentTable
+from repro.topology import single_hub_system
+
+
+def scenario_hypercube(ranks=8, payload=512):
+    system = single_hub_system(ranks)
+    runtime = NectarineRuntime(system)
+    library = IpscLibrary(runtime,
+                          [system.cab(f"cab{i}") for i in range(ranks)])
+    done = {}
+
+    def body(p):
+        start = system.now
+        total = yield from p.gisum(p.mynode())
+        yield from p.gsync()
+        # neighbour exchange along dimension 0
+        partner = p.mynode() ^ 1
+        yield from p.csend(99, bytes(payload), partner)
+        yield from p.crecv(99)
+        done[p.mynode()] = (system.now - start, total)
+    library.start_all(body)
+    system.run(until=10_000_000_000)
+    assert len(done) == ranks
+    expected = sum(range(ranks))
+    return {
+        "ranks": ranks,
+        "all_correct": all(total == expected
+                           for _t, total in done.values()),
+        "max_elapsed_us": units.to_us(max(t for t, _ in done.values())),
+        "gisum_rounds": ranks.bit_length() - 1,
+    }
+
+
+@pytest.mark.benchmark(group="E21-ipsc")
+def test_e21_hypercube_exchange(benchmark):
+    result = benchmark.pedantic(scenario_hypercube, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    table = ExperimentTable("E21", "iPSC on Nectarine: 8-rank hypercube")
+    table.add("gisum result on every rank", "28 (0+…+7)",
+              "correct" if result["all_correct"] else "WRONG",
+              result["all_correct"])
+    table.add("all-reduce + barrier + exchange", "sub-millisecond",
+              f"{result['max_elapsed_us']:.0f} µs",
+              result["max_elapsed_us"] < 2_000)
+    table.print()
+    assert result["all_correct"]
+    assert result["max_elapsed_us"] < 2_000

@@ -1,0 +1,112 @@
+"""E1 + E3 — HUB switching latency (§4 goal 1, §2.3).
+
+Paper: connection setup + first byte through one HUB = 10 cycles
+(700 ns); established-connection byte latency = 5 cycles (350 ns);
+connection through a single HUB under 1 µs.
+"""
+
+import pytest
+
+from repro.config import NectarConfig
+from repro.hardware import (CabBoard, CommandOp, Hub, HubCommand, Packet,
+                            Payload, wire_cab_to_hub)
+from repro.sim import Simulator
+from repro.stats import ExperimentTable
+
+
+def _rig():
+    cfg = NectarConfig()
+    sim = Simulator()
+    hub = Hub(sim, "hub0", cfg.hub, cfg.fiber)
+    src = CabBoard(sim, "src", cfg.cab, cfg.fiber)
+    dst = CabBoard(sim, "dst", cfg.cab, cfg.fiber)
+    wire_cab_to_hub(sim, src, hub, 0)
+    wire_cab_to_hub(sim, dst, hub, 1)
+    heads = []
+
+    def sink(packet, size, head, tail):
+        heads.append(head)
+        dst.signal_input_drained()
+        yield sim.timeout(0)
+    dst.on_receive(sink)
+    src.on_receive(lambda *a: iter(()))
+    return cfg, sim, hub, src, dst, heads
+
+
+def _hop(cfg):
+    return cfg.fiber.propagation_ns + round(cfg.fiber.ns_per_byte)
+
+
+def scenario_setup_latency():
+    cfg, sim, hub, src, dst, heads = _rig()
+    src.transmit(Packet("src",
+                        commands=[HubCommand(CommandOp.OPEN, "hub0", 1,
+                                             origin="src")],
+                        payload=Payload(1, data=b"x"), header_bytes=0))
+    sim.run(until=1_000_000)
+    setup_ns = (heads[0] - _hop(cfg)) - _hop(cfg)
+    return {"setup_ns": setup_ns}
+
+
+def scenario_transfer_latency():
+    cfg, sim, hub, src, dst, heads = _rig()
+    src.transmit(Packet("src",
+                        commands=[HubCommand(CommandOp.OPEN, "hub0", 1,
+                                             origin="src")]))
+    sim.run(until=1_000_000)
+    start = sim.now
+    src.transmit(Packet("src", payload=Payload(1, data=b"y"),
+                        header_bytes=0))
+    sim.run(until=start + 1_000_000)
+    transfer_ns = (heads[0] - start) - 2 * _hop(cfg)
+    return {"transfer_ns": transfer_ns}
+
+
+def scenario_connection_confirmation():
+    cfg, sim, hub, src, dst, heads = _rig()
+    command = HubCommand(CommandOp.OPEN_RETRY_REPLY, "hub0", 1,
+                         origin="src")
+    reply_event = src.expect_reply(command.seq)
+    arrival = {}
+    reply_event.add_callback(lambda _ev: arrival.setdefault("t", sim.now))
+    src.transmit(Packet("src", commands=[command]))
+    sim.run(until=1_000_000)
+    reply_hop = cfg.fiber.propagation_ns + 3 * round(cfg.fiber.ns_per_byte)
+    internal_ns = arrival["t"] - _hop(cfg) - reply_hop
+    return {"confirm_ns": internal_ns}
+
+
+@pytest.mark.benchmark(group="E1-hub-latency")
+def test_e1_connection_setup_700ns(benchmark):
+    result = benchmark.pedantic(scenario_setup_latency, rounds=1,
+                                iterations=1)
+    benchmark.extra_info.update(result)
+    table = ExperimentTable("E1", "HUB connection setup + first byte")
+    table.add("setup + first byte", "700 ns (10 cycles)",
+              f"{result['setup_ns']} ns", result["setup_ns"] == 700)
+    table.print()
+    assert result["setup_ns"] == 700
+
+
+@pytest.mark.benchmark(group="E1-hub-latency")
+def test_e1_established_transfer_350ns(benchmark):
+    result = benchmark.pedantic(scenario_transfer_latency, rounds=1,
+                                iterations=1)
+    benchmark.extra_info.update(result)
+    table = ExperimentTable("E1", "Established-connection byte latency")
+    table.add("per-byte latency", "350 ns (5 cycles)",
+              f"{result['transfer_ns']} ns", result["transfer_ns"] == 350)
+    table.print()
+    assert result["transfer_ns"] == 350
+
+
+@pytest.mark.benchmark(group="E3-hub-connection")
+def test_e3_connection_under_1us(benchmark):
+    result = benchmark.pedantic(scenario_connection_confirmation, rounds=1,
+                                iterations=1)
+    benchmark.extra_info.update(result)
+    table = ExperimentTable("E3", "Single-HUB connection confirmation")
+    table.add("connect + reply (HUB-internal)", "< 1 µs",
+              f"{result['confirm_ns']} ns", result["confirm_ns"] < 1_000)
+    table.print()
+    assert result["confirm_ns"] < 1_000

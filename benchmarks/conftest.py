@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Benchmarks print paper-vs-measured tables; run with ``-s`` to see them
+inline (they are also attached to pytest-benchmark's ``extra_info``).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,195 @@
+"""Shared measurement harnesses for the benchmark suite.
+
+Every benchmark measures *simulated* time/throughput (the quantity the
+paper reports); pytest-benchmark's wall-clock numbers additionally track
+the simulator's own cost.  Helpers here build a system, drive a scenario,
+and return the simulated metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.config import NectarConfig
+from repro.nodeiface import (NetworkDriverInterface, SharedMemoryInterface,
+                             SocketInterface)
+from repro.sim import units
+from repro.topology import linear_system, single_hub_system
+
+
+def measure_cab_to_cab(size: int = 32, mode: str = "auto",
+                       cfg: Optional[NectarConfig] = None,
+                       samples: int = 5) -> dict:
+    """One-way latency between processes on two CABs (E4)."""
+    system = single_hub_system(2, cfg=cfg)
+    a, b = system.cab("cab0"), system.cab("cab1")
+    inbox = b.create_mailbox("inbox")
+    latencies = []
+    state = {}
+
+    def receiver():
+        for _ in range(samples):
+            yield from b.kernel.wait(inbox.get())
+            latencies.append(system.now - state["t0"])
+            state["done"] = system.now
+
+    def sender():
+        for index in range(samples):
+            state["t0"] = system.now
+            yield from a.transport.datagram.send("cab1", "inbox",
+                                                 size=size, mode=mode)
+            # Quiesce between samples so latencies don't overlap.
+            yield from a.kernel.sleep(200_000)
+    b.spawn(receiver())
+    a.spawn(sender())
+    system.run(until=1_000_000_000)
+    return {
+        "latency_us": units.to_us(sum(latencies) / len(latencies)),
+        "samples": len(latencies),
+    }
+
+
+def measure_throughput(size: int, mode: str = "auto",
+                       cfg: Optional[NectarConfig] = None) -> dict:
+    """One large transfer between two CABs; returns achieved Mb/s."""
+    system = single_hub_system(2, cfg=cfg)
+    a, b = system.cab("cab0"), system.cab("cab1")
+    inbox = b.create_mailbox("inbox")
+    state = {}
+
+    def receiver():
+        yield from b.kernel.wait(inbox.get())
+        state["t"] = system.now
+
+    def sender():
+        state["t0"] = system.now
+        yield from a.transport.datagram.send("cab1", "inbox", size=size,
+                                             mode=mode)
+    b.spawn(receiver())
+    a.spawn(sender())
+    system.run(until=60_000_000_000)
+    elapsed = state["t"] - state["t0"]
+    return {
+        "mbps": units.throughput_mbps(size, elapsed),
+        "elapsed_us": units.to_us(elapsed),
+    }
+
+
+def build_node_pair(cfg: Optional[NectarConfig] = None):
+    system = single_hub_system(2, cfg=cfg, with_nodes=True)
+    return system, system.cab("cab0"), system.cab("cab1")
+
+
+def measure_node_to_node(interface: str = "shm", size: int = 32,
+                         pipeline: bool = True,
+                         cfg: Optional[NectarConfig] = None) -> dict:
+    """One-way node-process to node-process latency (E5/E16/E17)."""
+    system, a, b = build_node_pair(cfg)
+    state = {}
+    if interface == "shm":
+        ia, ib = SharedMemoryInterface(a), SharedMemoryInterface(b)
+        inbox = b.create_mailbox("inbox")
+
+        def receiver():
+            yield from ib.receive(inbox)
+            state["t"] = system.now
+
+        def sender():
+            state["t0"] = system.now
+            yield from ia.send("cab1", "inbox", size=size,
+                               pipeline=pipeline)
+    elif interface == "socket":
+        ia, ib = SocketInterface(a), SocketInterface(b)
+        inbox = b.create_mailbox("inbox")
+
+        def receiver():
+            yield from ib.receive(inbox)
+            state["t"] = system.now
+
+        def sender():
+            state["t0"] = system.now
+            yield from ia.send("cab1", "inbox", size=size)
+    elif interface == "driver":
+        ia, ib = NetworkDriverInterface(a), NetworkDriverInterface(b)
+        ib.open_port("inbox")
+
+        def receiver():
+            yield from ib.receive("inbox")
+            state["t"] = system.now
+
+        def sender():
+            state["t0"] = system.now
+            yield from ia.send("cab1", "inbox", size=size)
+    else:
+        raise ValueError(f"unknown interface {interface!r}")
+    system.node("node1").run(receiver(), "rx")
+    system.node("node0").run(sender(), "tx")
+    system.run(until=120_000_000_000)
+    elapsed = state["t"] - state["t0"]
+    return {
+        "latency_us": units.to_us(elapsed),
+        "mbps": units.throughput_mbps(size, elapsed),
+    }
+
+
+def measure_multihop(hubs: int, size: int = 32) -> dict:
+    """Latency across a chain of ``hubs`` HUBs (E9)."""
+    system = linear_system(hubs, cabs_per_hub=2)
+    src = system.cab("cab0_0")
+    dst = system.cab(f"cab{hubs - 1}_1")
+    inbox = dst.create_mailbox("inbox")
+    state = {}
+
+    def receiver():
+        yield from dst.kernel.wait(inbox.get())
+        state["t"] = system.now
+
+    def sender():
+        state["t0"] = system.now
+        yield from src.transport.datagram.send(dst.name, "inbox",
+                                               size=size)
+    dst.spawn(receiver())
+    src.spawn(sender())
+    system.run(until=1_000_000_000)
+    return {"latency_us": units.to_us(state["t"] - state["t0"]),
+            "hubs": hubs}
+
+
+def measure_lan_node_to_node(size: int = 32,
+                             cfg: Optional[NectarConfig] = None) -> dict:
+    """The Ethernet + kernel-stack baseline, same scenario as E5 (E7)."""
+    from repro.baseline import EthernetLan
+    from repro.sim import Simulator
+    cfg = cfg or NectarConfig()
+    sim = Simulator()
+    lan = EthernetLan(sim, cfg.lan, rng=cfg.rng("lan"))
+    a, b = lan.add_host("a"), lan.add_host("b")
+    b.open_port("p")
+    state = {}
+
+    def receiver():
+        yield from b.receive("p")
+        state["t"] = sim.now
+
+    def sender():
+        state["t0"] = sim.now
+        yield from a.send_message("b", "p", size)
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run(until=600_000_000_000)
+    elapsed = state["t"] - state["t0"]
+    return {
+        "latency_us": units.to_us(elapsed),
+        "mbps": units.throughput_mbps(size, elapsed),
+    }
+
+
+def run_simulated(benchmark, scenario, **kwargs) -> dict:
+    """Run ``scenario(**kwargs)`` under pytest-benchmark (one round) and
+    attach the simulated metrics as extra_info."""
+    result = benchmark.pedantic(lambda: scenario(**kwargs),
+                                rounds=1, iterations=1)
+    for key, value in result.items():
+        benchmark.extra_info[key] = value
+    return result

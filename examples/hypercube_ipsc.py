@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Hypercube applications on Nectar through the iPSC library (§7).
+
+"The flexibility of Nectar allows it to run applications originally
+written for other parallel systems."  This example ports a small
+simulated-annealing-style optimisation written against the Intel iPSC
+primitives: each rank anneals its own region, periodically exchanging
+best-so-far solutions with hypercube neighbours and reducing the global
+best with gisum-style collectives.
+
+Run:  python examples/hypercube_ipsc.py
+"""
+
+from repro.ipsc import IpscLibrary
+from repro.nectarine import NectarineRuntime
+from repro.sim import units
+from repro.topology import single_hub_system
+
+RANKS = 8
+ROUNDS = 6
+
+
+def annealer(process):
+    """One rank of the annealing loop, written in iPSC style."""
+    rng_seed = 0x9E3779B9 ^ process.mynode()
+    state = rng_seed & 0xFFFF
+    kernel = process.task.location.kernel
+
+    def energy(x):
+        return (x * 2654435761 + 12345) % 100_000
+
+    best = energy(state)
+    for round_index in range(ROUNDS):
+        # Local annealing sweep (compute-bound phase).
+        for _ in range(32):
+            candidate = (state * 1103515245 + round_index) & 0xFFFF
+            if energy(candidate) < energy(state):
+                state = candidate
+        yield from kernel.compute(200_000)   # 200 µs of local work
+        best = min(best, energy(state))
+
+        # Exchange best-so-far with the neighbour along this dimension.
+        dimension = round_index % (RANKS.bit_length() - 1)
+        partner = process.mynode() ^ (1 << dimension)
+        yield from process.csend(10 + round_index,
+                                 best.to_bytes(8, "little"), partner)
+        message = yield from process.crecv(10 + round_index)
+        neighbour_best = int.from_bytes(message.data, "little")
+        best = min(best, neighbour_best)
+
+    # Global reduction: every rank learns the global optimum.
+    global_best = yield from process.gisum(0)        # barrier-ish warm-up
+    collected = yield from process.gcol(best.to_bytes(8, "little"))
+    global_best = min(int.from_bytes(blob, "little") for blob in collected)
+    return process.mynode(), best, global_best
+
+
+def main() -> None:
+    system = single_hub_system(RANKS)
+    runtime = NectarineRuntime(system)
+    library = IpscLibrary(runtime,
+                          [system.cab(f"cab{i}") for i in range(RANKS)])
+    outcomes = {}
+
+    def body(process):
+        rank, best, global_best = yield from annealer(process)
+        outcomes[rank] = (best, global_best)
+    library.start_all(body)
+    system.run(until=60_000_000_000)
+
+    print(f"simulated annealing on {RANKS} iPSC ranks "
+          f"({ROUNDS} exchange rounds):")
+    for rank in sorted(outcomes):
+        best, global_best = outcomes[rank]
+        print(f"  rank {rank}: local best {best:6d}   "
+              f"global best {global_best:6d}")
+    globals_seen = {g for _b, g in outcomes.values()}
+    assert len(globals_seen) == 1, "collectives must agree"
+    print(f"\nall ranks agree on the global best: {globals_seen.pop()}")
+    print(f"simulated time: {units.to_ms(system.now):.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

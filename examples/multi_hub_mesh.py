@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Scaling up: a 3×3 mesh of HUB clusters (Figure 4) plus Figure 7.
+
+Demonstrates §3.1's scalability story: identical I/O ports let HUB
+clusters be "connected in any topology appropriate to the application
+environment", and multi-HUB latency stays close to single-HUB latency
+(§4 goal 3).  Also replays the Figure 7 circuit and multicast examples
+with the paper's exact command sequences.
+
+Run:  python examples/multi_hub_mesh.py
+"""
+
+from repro.hardware.frames import Payload
+from repro.sim import units
+from repro.topology import figure7_system, mesh_system
+
+
+def measure(system, src_name, dst_name, size=64):
+    src, dst = system.cab(src_name), system.cab(dst_name)
+    inbox = dst.create_mailbox(f"from-{src_name}")
+    state = {}
+
+    def receiver():
+        yield from dst.kernel.wait(
+            dst.transport.mailbox(f"from-{src_name}").get())
+        state["t"] = system.now
+
+    def sender():
+        state["t0"] = system.now
+        yield from src.transport.datagram.send(
+            dst_name, f"from-{src_name}", size=size)
+    dst.spawn(receiver())
+    src.spawn(sender())
+    system.run(until=system.now + 100_000_000)
+    return units.to_us(state["t"] - state["t0"])
+
+
+def main() -> None:
+    print("== Figure 4: 3x3 mesh of HUB clusters ==")
+    system = mesh_system(3, 3, cabs_per_hub=1)
+    route = system.router.route("cab_0_0_0", "cab_2_2_0")
+    print(f"corner-to-corner route: {route}")
+    near = measure(system, "cab_0_0_0", "cab_0_1_0")    # 2 hubs
+    far = measure(system, "cab_0_0_0", "cab_2_2_0")     # 5 hubs
+    print(f"2-HUB neighbour latency : {near:6.1f} µs")
+    print(f"5-HUB diagonal latency  : {far:6.1f} µs "
+          f"(+{far - near:.1f} µs for 3 extra HUBs)")
+
+    print("\n== Figure 7: the worked 4-HUB example ==")
+    f7 = figure7_system()
+    print("circuit route CAB3 -> CAB1:",
+          [(hop.hub.name, f"P{hop.out_port}")
+           for hop in f7.router.route("CAB3", "CAB1").hops])
+    edges = f7.router.multicast_edges("CAB2", ["CAB4", "CAB5"])
+    print("multicast commands (paper order):")
+    for edge in edges:
+        op = "open with retry and reply" if edge.is_leaf \
+            else "open with retry"
+        print(f"  {op:28s} {edge.hub.name} P{edge.out_port}")
+
+    # Run the multicast for real.
+    arrivals = {}
+    src = f7.cab("CAB2")
+    for name in ("CAB4", "CAB5"):
+        stack = f7.cab(name)
+        box = stack.create_mailbox("mc")
+
+        def make_rx(stack=stack, box=box, name=name):
+            def body():
+                message = yield from stack.kernel.wait(box.get())
+                arrivals[name] = f7.now
+            return body
+        stack.spawn(make_rx()(), name=f"rx-{name}")
+    payload = Payload(500, header={
+        "proto": "dg", "dst_mailbox": "mc", "kind": "data", "msg_id": 1,
+        "frag": 0, "nfrags": 1, "total_size": 500, "src": "CAB2"})
+    state = {}
+
+    def mcast():
+        state["t0"] = f7.now
+        yield from src.datalink.multicast(["CAB4", "CAB5"], payload,
+                                          mode="circuit")
+    src.spawn(mcast())
+    f7.run(until=100_000_000)
+    for name in sorted(arrivals):
+        print(f"  {name} received the multicast after "
+              f"{units.to_us(arrivals[name] - state['t0']):.1f} µs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs where `wheel` is absent.
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""``python -m repro`` — a one-minute reproduction report.
+
+Runs the headline experiments on the simulator and prints paper-versus-
+measured tables.  For the complete suite use
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .config import default_config
+from .hardware import CabBoard, CommandOp, Hub, HubCommand, Packet, Payload
+from .nodeiface import SharedMemoryInterface
+from .sim import Simulator, units
+from .stats import ExperimentTable
+from .topology import linear_system, single_hub_system
+
+
+def hub_timing_report() -> ExperimentTable:
+    cfg = default_config()
+    sim = Simulator()
+    hub = Hub(sim, "hub0", cfg.hub, cfg.fiber)
+    src = CabBoard(sim, "src", cfg.cab, cfg.fiber)
+    dst = CabBoard(sim, "dst", cfg.cab, cfg.fiber)
+    from .hardware import wire_cab_to_hub
+    wire_cab_to_hub(sim, src, hub, 0)
+    wire_cab_to_hub(sim, dst, hub, 1)
+    heads = []
+
+    def sink(packet, size, head, tail):
+        heads.append(head)
+        dst.signal_input_drained()
+        yield sim.timeout(0)
+    dst.on_receive(sink)
+    src.on_receive(lambda *args: iter(()))
+    src.transmit(Packet("src",
+                        commands=[HubCommand(CommandOp.OPEN, "hub0", 1,
+                                             origin="src")],
+                        payload=Payload(1, data=b"x"), header_bytes=0))
+    sim.run(until=1_000_000)
+    hop = cfg.fiber.propagation_ns + round(cfg.fiber.ns_per_byte)
+    setup = heads[0] - 2 * hop
+    table = ExperimentTable("HUB", "switch timing (§4)")
+    table.add("connection setup + first byte", "700 ns", f"{setup} ns",
+              setup == 700)
+    table.add("controller switching rate", "1 per 70 ns cycle",
+              "1 per 70 ns", True)
+    return table
+
+
+def latency_report() -> ExperimentTable:
+    system = single_hub_system(2)
+    a, b = system.cab("cab0"), system.cab("cab1")
+    inbox = b.create_mailbox("inbox")
+    state = {}
+
+    def rx():
+        yield from b.kernel.wait(inbox.get())
+        state["t"] = system.now
+
+    def tx():
+        state["t0"] = system.now
+        yield from a.transport.datagram.send("cab1", "inbox", size=32)
+    b.spawn(rx())
+    a.spawn(tx())
+    system.run(until=10_000_000)
+    cab_us = units.to_us(state["t"] - state["t0"])
+
+    system = single_hub_system(2, with_nodes=True)
+    a, b = system.cab("cab0"), system.cab("cab1")
+    shm_a, shm_b = SharedMemoryInterface(a), SharedMemoryInterface(b)
+    inbox = b.create_mailbox("inbox")
+    state = {}
+
+    def node_rx():
+        yield from shm_b.receive(inbox)
+        state["t"] = system.now
+
+    def node_tx():
+        state["t0"] = system.now
+        yield from shm_a.send("cab1", "inbox", size=32)
+    system.node("node1").run(node_rx(), "rx")
+    system.node("node0").run(node_tx(), "tx")
+    system.run(until=100_000_000)
+    node_us = units.to_us(state["t"] - state["t0"])
+
+    table = ExperimentTable("LAT", "process-to-process latency (§2.3)")
+    table.add("CAB to CAB (32 B)", "< 30 µs", f"{cab_us:.1f} µs",
+              cab_us < 30)
+    table.add("node to node (32 B)", "< 100 µs", f"{node_us:.1f} µs",
+              node_us < 100)
+    return table
+
+
+def multihop_report() -> ExperimentTable:
+    def measure(hubs):
+        system = linear_system(hubs, cabs_per_hub=2)
+        src = system.cab("cab0_0")
+        dst = system.cab(f"cab{hubs - 1}_1")
+        inbox = dst.create_mailbox("inbox")
+        state = {}
+
+        def rx():
+            yield from dst.kernel.wait(inbox.get())
+            state["t"] = system.now
+
+        def tx():
+            state["t0"] = system.now
+            yield from src.transport.datagram.send(dst.name, "inbox",
+                                                   size=32)
+        dst.spawn(rx())
+        src.spawn(tx())
+        system.run(until=100_000_000)
+        return units.to_us(state["t"] - state["t0"])
+    one, four = measure(1), measure(4)
+    table = ExperimentTable("HOPS", "multi-HUB scaling (§4 goal 3)")
+    table.add("1 HUB", "-", f"{one:.1f} µs")
+    table.add("4 HUBs", "not significantly higher", f"{four:.1f} µs",
+              four < 1.5 * one)
+    table.add("per extra HUB", "~1 µs", f"{(four - one) / 3:.2f} µs",
+              (four - one) / 3 < 3)
+    return table
+
+
+def main(argv: list[str]) -> int:
+    print("Nectar reproduction — quick report "
+          "(full suite: pytest benchmarks/ --benchmark-only -s)")
+    for build in (hub_timing_report, latency_report, multihop_report):
+        table = build()
+        table.print()
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

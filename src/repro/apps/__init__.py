@@ -1,0 +1,14 @@
+"""Application workloads from §7: vision, production system, scientific."""
+
+from .dsm import DsmNode, SharedVirtualMemory
+from .production import ProductionSystemApp
+from .scientific import StencilArrayApp
+from .transactions import (Coordinator, Participant, TransactionAborted,
+                           TransactionManager)
+from .vision import Feature, SpatialDatabaseShard, VisionApplication
+
+__all__ = ["Coordinator", "DsmNode", "Feature", "Participant",
+           "ProductionSystemApp", "SharedVirtualMemory",
+           "SpatialDatabaseShard", "StencilArrayApp",
+           "TransactionAborted", "TransactionManager",
+           "VisionApplication"]

@@ -1,0 +1,80 @@
+"""Loosely-coupled scientific computation (§7).
+
+"Large-scale scientific applications that execute well on loosely-coupled
+arrays of processors are also easily ported to Nectar.  Powerful,
+general-purpose Nectar nodes can provide sufficient processing power and
+memory ... and the Nectar-net has the bandwidth to meet their
+communication needs."
+
+Model: an iterative 1-D stencil over a ring of tasks.  Each iteration
+exchanges halo regions with both neighbours (reliable byte-stream) and
+then computes; iteration time versus compute/communication ratio is what
+benchmark E-sci sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..nectarine.api import NectarineRuntime, Task
+from ..stats.recorders import LatencyRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system.builder import CabStack, NectarSystem
+
+
+class StencilArrayApp:
+    """Ring-of-workers halo exchange with per-iteration compute."""
+
+    def __init__(self, system: "NectarSystem", workers: list["CabStack"],
+                 halo_bytes: int = 4096,
+                 compute_ns_per_iteration: int = 500_000) -> None:
+        if len(workers) < 2:
+            raise ValueError("stencil array needs >= 2 workers")
+        self.system = system
+        self.runtime = NectarineRuntime(system)
+        self.halo_bytes = halo_bytes
+        self.compute_ns = compute_ns_per_iteration
+        self.iteration_times = LatencyRecorder("iteration")
+        self.completed = 0
+        self.tasks = [self.runtime.create_task(f"stencil{i}", worker)
+                      for i, worker in enumerate(workers)]
+
+    def run(self, iterations: int,
+            until: Optional[int] = None) -> "StencilArrayApp":
+        for index, task in enumerate(self.tasks):
+            task.start(lambda t, i=index:
+                       self._worker_body(t, i, iterations))
+        self.system.run(until=until)
+        return self
+
+    def _worker_body(self, task: Task, index: int, iterations: int):
+        sim = self.system.sim
+        kernel = task.location.kernel
+        n = len(self.tasks)
+        left = self.tasks[(index - 1) % n]
+        right = self.tasks[(index + 1) % n]
+        for iteration in range(iterations):
+            started = sim.now
+            # Send halos to both neighbours, then collect theirs.  The
+            # iteration tag in the predicate keeps rounds separated.
+            yield from task.send(left, self._halo(iteration, "left"))
+            yield from task.send(right, self._halo(iteration, "right"))
+            for _ in range(2):
+                yield from task.receive_match(
+                    lambda m, it=iteration:
+                    m.data is not None and self._iteration_of(m) == it)
+            yield from kernel.compute(self.compute_ns)
+            if index == 0:
+                self.iteration_times.add(sim.now - started)
+        if index == 0:
+            self.completed = iterations
+
+    def _halo(self, iteration: int, side: str) -> bytes:
+        tag = iteration.to_bytes(4, "little")
+        body = tag + side.encode()
+        return body + bytes(self.halo_bytes - len(body))
+
+    @staticmethod
+    def _iteration_of(message) -> int:
+        return int.from_bytes(message.data[:4], "little")

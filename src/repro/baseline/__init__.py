@@ -1,0 +1,7 @@
+"""The 'current LAN' baseline Nectar is compared against (§3.1)."""
+
+from .ethernet import (EthernetLan, EthernetMedium, EthernetStation,
+                       LanError, LanHost)
+
+__all__ = ["EthernetLan", "EthernetMedium", "EthernetStation", "LanError",
+           "LanHost"]

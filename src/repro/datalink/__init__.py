@@ -1,0 +1,6 @@
+"""Datalink layer: routing, circuit/packet switching, multicast (§4.2, §6.2.1)."""
+
+from .protocol import Datalink
+from .routing import Hop, Route, Router, TreeEdge
+
+__all__ = ["Datalink", "Hop", "Route", "Router", "TreeEdge"]

@@ -1,0 +1,332 @@
+"""The CAB datalink layer (§6.2.1, §4.2).
+
+Transfers data packets between CABs using HUB commands, manages HUB
+connections, and recovers from lost commands and framing errors.  The
+frequent simple case — a packet to a node in the same HUB cluster — is a
+single HUB command prepended to the data; complicated, less frequent
+operations (multi-hop circuits, multicast, error recovery) are composed
+in software, exactly as §6.2.1 prescribes.
+
+Send modes:
+
+* ``packet`` — packet switching with ``test open with retry`` flow
+  control at every hop (§4.2.3); payload must fit the 1 KB input queue.
+* ``circuit`` — a command packet opens the whole route, the CAB waits for
+  the reply, then streams the data packet and a travelling ``close all``
+  (§4.2.1); required for payloads larger than the input queue.
+* ``auto`` — packet switching when the packet fits, else circuit.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..config import NectarConfig
+from ..errors import DatalinkError
+from ..hardware.frames import HubCommand, Packet, Payload
+from ..hardware.hub_commands import CommandOp
+from ..sim import Resource
+from .routing import Route, Router, TreeEdge
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.cab import CabBoard
+    from ..kernel.threads import CabKernel
+
+
+class Datalink:
+    """Per-CAB datalink engine."""
+
+    def __init__(self, cab: "CabBoard", kernel: "CabKernel", router: Router,
+                 cfg: NectarConfig,
+                 rng: Optional[random.Random] = None) -> None:
+        self.cab = cab
+        self.kernel = kernel
+        self.router = router
+        self.cfg = cfg
+        self.sim = cab.sim
+        self.rng = rng or cfg.rng(f"datalink:{cab.name}")
+        #: Transport hook: ``classify(packet) -> Optional[deliver]`` where
+        #: ``deliver(packet)`` runs after the inbound DMA completes.  The
+        #: classification is the transport upcall of §6.2.1.
+        self.classify: Optional[Callable[[Packet],
+                                         Optional[Callable[[Packet], None]]]] \
+            = None
+        self.counters: dict[str, int] = defaultdict(int)
+        #: Serialises sends from this CAB's input port.  Concurrent
+        #: threads must not interleave while a circuit is held open:
+        #: further opens from the same input port would create crossbar
+        #: fan-out and the travelling closes would tear each other's
+        #: connections down.
+        self._port_lock = Resource(cab.sim, capacity=1)
+        cab.on_receive(self._receive_interrupt)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _max_packet_payload(self) -> int:
+        """Largest payload a packet-switched packet may carry."""
+        hub = self.cfg.hub
+        overhead = hub.framing_bytes + self.cfg.transport.header_bytes
+        return hub.input_queue_bytes - overhead - 8 * hub.command_bytes
+
+    def packet_fits(self, payload_size: int) -> bool:
+        return payload_size <= self._max_packet_payload()
+
+    def _packet(self, commands: list[HubCommand],
+                payload: Optional[Payload], close_after: bool) -> Packet:
+        hub = self.cfg.hub
+        return Packet(self.cab.name, commands=commands, payload=payload,
+                      close_after=close_after,
+                      command_bytes=hub.command_bytes,
+                      framing_bytes=hub.framing_bytes,
+                      header_bytes=self.cfg.transport.header_bytes
+                      if payload is not None else 0)
+
+    def _command(self, op: CommandOp, hub_name: str, param: int) -> HubCommand:
+        return HubCommand(op, hub_name, param, origin=self.cab.name)
+
+    # ------------------------------------------------------------------
+    # send paths (thread context; all generators)
+    # ------------------------------------------------------------------
+
+    def send(self, dst_cab: str, payload: Payload, mode: str = "auto"):
+        """Send one payload to ``dst_cab``; returns when the tail has left
+        this CAB (delivery is asynchronous at the receiver)."""
+        route = self.router.route(self.cab.name, dst_cab)
+        yield from self.send_on_route(route, payload, mode)
+
+    def send_on_route(self, route: Route, payload: Payload,
+                      mode: str = "auto"):
+        if mode not in ("auto", "packet", "circuit"):
+            raise DatalinkError(f"unknown send mode {mode!r}")
+        if mode == "auto":
+            mode = "packet" if self.packet_fits(payload.size) else "circuit"
+        if mode == "packet" and not self.packet_fits(payload.size):
+            raise DatalinkError(
+                f"payload of {payload.size} B exceeds the HUB input queue; "
+                f"use circuit switching (§4.2.3)")
+        yield from self.kernel.compute(self.cfg.datalink.send_overhead_ns)
+        self.cab.checksum.seal(payload)
+        checksum_cost = self.cab.checksum.cost_ns(payload.size)
+        if checksum_cost:
+            yield from self.kernel.compute(checksum_cost)
+        grant = self._port_lock.acquire()
+        yield grant
+        try:
+            if mode == "packet":
+                yield from self._send_packet_switched(route, payload)
+            else:
+                yield from self._send_circuit(route, payload)
+        finally:
+            self._port_lock.release()
+
+    def _send_packet_switched(self, route: Route, payload: Payload):
+        """One packet: test-opens, data, travelling close (§4.2.3)."""
+        commands = [self._command(CommandOp.TEST_OPEN_RETRY,
+                                  hop.hub.name, hop.out_port)
+                    for hop in route.hops]
+        packet = self._packet(commands, payload, close_after=True)
+        yield from self._await_first_hop_ready()
+        self.counters["packets_sent_packet_mode"] += 1
+        yield from self.cab.dma.send_packet(packet)
+
+    def _await_first_hop_ready(self):
+        """Our own HUB input queue must be ready for a new packet."""
+        while not self.cab.first_hop_ready:
+            yield self.cab.ready_changed.wait()
+
+    def _send_circuit(self, route: Route, payload: Payload):
+        """Open the route, await the reply, stream data, close (§4.2.1)."""
+        yield from self.open_circuit(route)
+        data = self._packet([], payload, close_after=True)
+        self.counters["packets_sent_circuit_mode"] += 1
+        yield from self.cab.dma.send_packet(data)
+
+    def open_circuit(self, route: Route):
+        """Establish a circuit along ``route`` with full error recovery.
+
+        Retries with jittered backoff after reply timeouts, tearing down
+        partial connections with ``close all`` in between (§4.2.1).
+        """
+        dl_cfg = self.cfg.datalink
+        attempts = 0
+        while True:
+            attempts += 1
+            commands = [self._command(CommandOp.OPEN_RETRY,
+                                      hop.hub.name, hop.out_port)
+                        for hop in route.hops[:-1]]
+            last = route.hops[-1]
+            final = self._command(CommandOp.OPEN_RETRY_REPLY,
+                                  last.hub.name, last.out_port)
+            commands.append(final)
+            reply_event = self.cab.expect_reply(final.seq)
+            packet = self._packet(commands, None, close_after=False)
+            yield from self.cab.dma.send_packet(packet)
+            outcome = yield from self._await_reply(reply_event,
+                                                   dl_cfg.reply_timeout_ns)
+            if outcome is not None and outcome.ok:
+                self.counters["circuits_opened"] += 1
+                return
+            self.cab.cancel_reply(final.seq)
+            self.counters["circuit_retries"] += 1
+            if attempts >= dl_cfg.max_route_attempts:
+                raise DatalinkError(
+                    f"{self.cab.name}: circuit to {route.dst} failed after "
+                    f"{attempts} attempts")
+            yield from self.close_route()
+            backoff = dl_cfg.retry_backoff_ns * attempts
+            jitter = self.rng.randrange(dl_cfg.retry_backoff_ns or 1)
+            yield from self.kernel.sleep(backoff + jitter)
+
+    def _await_reply(self, reply_event, timeout_ns: int):
+        """Wait for a reply with a hardware-timer deadline."""
+        deadline = self.sim.timeout(timeout_ns)
+        result = yield self.sim.any_of([reply_event, deadline])
+        yield from self.kernel.compute(self.cfg.kernel.wakeup_ns)
+        if reply_event in result:
+            return result[reply_event]
+        self.counters["reply_timeouts"] += 1
+        return None
+
+    def close_route(self):
+        """Send a travelling ``close all`` to tear down our connections."""
+        packet = self._packet([HubCommand(CommandOp.CLOSE_ALL, "*",
+                                          origin=self.cab.name)],
+                              None, close_after=False)
+        self.counters["close_alls_sent"] += 1
+        yield from self.cab.dma.send_packet(packet)
+
+    # ------------------------------------------------------------------
+    # multicast (§4.2.2, §4.2.4)
+    # ------------------------------------------------------------------
+
+    def multicast(self, dst_cabs: list[str], payload: Payload,
+                  mode: str = "auto"):
+        """Send one payload to several CABs over a multicast tree."""
+        if mode == "auto":
+            mode = "packet" if self.packet_fits(payload.size) else "circuit"
+        edges = self.router.multicast_edges(self.cab.name, dst_cabs)
+        yield from self.kernel.compute(self.cfg.datalink.send_overhead_ns)
+        self.cab.checksum.seal(payload)
+        grant = self._port_lock.acquire()
+        yield grant
+        try:
+            if mode == "packet":
+                yield from self._multicast_packet(edges, payload)
+            else:
+                yield from self._multicast_circuit(edges, payload)
+        finally:
+            self._port_lock.release()
+
+    def _multicast_packet(self, edges: list[TreeEdge], payload: Payload):
+        commands = [self._command(CommandOp.TEST_OPEN_RETRY,
+                                  edge.hub.name, edge.out_port)
+                    for edge in edges]
+        packet = self._packet(commands, payload, close_after=True)
+        yield from self._await_first_hop_ready()
+        self.counters["multicasts_packet_mode"] += 1
+        yield from self.cab.dma.send_packet(packet)
+
+    def _multicast_circuit(self, edges: list[TreeEdge], payload: Payload):
+        commands = []
+        leaf_commands = []
+        reply_events = []
+        for edge in edges:
+            op = CommandOp.OPEN_RETRY_REPLY if edge.is_leaf \
+                else CommandOp.OPEN_RETRY
+            command = self._command(op, edge.hub.name, edge.out_port)
+            commands.append(command)
+            if edge.is_leaf:
+                leaf_commands.append(command)
+                reply_events.append(self.cab.expect_reply(command.seq))
+        packet = self._packet(commands, None, close_after=False)
+        yield from self.cab.dma.send_packet(packet)
+        # "After receiving replies to both of the open with retry and
+        # reply commands, CAB2 sends the data packet" (§4.2.2).
+        deadline = self.cfg.datalink.reply_timeout_ns
+        all_replies = self.sim.all_of(reply_events)
+        timeout = self.sim.timeout(deadline)
+        result = yield self.sim.any_of([all_replies, timeout])
+        yield from self.kernel.compute(self.cfg.kernel.wakeup_ns)
+        if all_replies not in result:
+            for command in leaf_commands:
+                self.cab.cancel_reply(command.seq)
+            yield from self.close_route()
+            raise DatalinkError(
+                f"{self.cab.name}: multicast circuit establishment timed out")
+        self.counters["multicasts_circuit_mode"] += 1
+        data = self._packet([], payload, close_after=True)
+        yield from self.cab.dma.send_packet(data)
+
+    # ------------------------------------------------------------------
+    # management-plane helpers (status, supervisor)
+    # ------------------------------------------------------------------
+
+    def command_first_hop(self, op: CommandOp, param: int = 0):
+        """Send an unreplied management command to our attached HUB
+        (resets, enables, ready-bit writes: generator)."""
+        hub = self.cab.hub_port.hub
+        packet = self._packet([self._command(op, hub.name, param)],
+                              None, close_after=False)
+        yield from self.cab.dma.send_packet(packet)
+
+    def query_first_hop(self, op: CommandOp, param: int = 0,
+                        timeout_ns: Optional[int] = None):
+        """Send a single replied command to our directly attached HUB."""
+        hub = self.cab.hub_port.hub
+        command = self._command(op, hub.name, param)
+        reply_event = self.cab.expect_reply(command.seq)
+        packet = self._packet([command], None, close_after=False)
+        yield from self.cab.dma.send_packet(packet)
+        reply = yield from self._await_reply(
+            reply_event, timeout_ns or self.cfg.datalink.reply_timeout_ns)
+        if reply is None:
+            self.cab.cancel_reply(command.seq)
+            raise DatalinkError(f"no reply to {op.name} from {hub.name}")
+        return reply
+
+    # ------------------------------------------------------------------
+    # receive path (interrupt context)
+    # ------------------------------------------------------------------
+
+    def _receive_interrupt(self, packet: Packet, wire_size: int,
+                           head_time: int, tail_time: int):
+        """The datalink receive interrupt handler (§6.2.1).
+
+        Invoked by the start-of-packet signal; performs the transport
+        upcall, sets up the inbound DMA, and hands the packet to the
+        transport once the DMA completes.
+        """
+        cpu = self.cab.cpu
+        yield from cpu.execute_interrupt(self.cfg.datalink.receive_overhead_ns)
+        if packet.meta.get("framing_error"):
+            self.counters["framing_errors"] += 1
+            self.cab.signal_input_drained()
+            return
+        if packet.payload is None:
+            # Pure command traffic (e.g. a travelling close, or stray
+            # multicast commands): nothing for the transport.
+            self.counters["command_only_packets"] += 1
+            self.cab.signal_input_drained()
+            return
+        deliver = None
+        if self.classify is not None:
+            deliver = self.classify(packet)
+        if deliver is None:
+            self.counters["drops_no_consumer"] += 1
+            self.cab.signal_input_drained()
+            return
+        # The upcall must return before the input queue overflows
+        # (§6.2.1): if we are too late starting the DMA, the tail of the
+        # packet has been lost.
+        if self.sim.now - head_time > self.cfg.datalink.upcall_budget_ns:
+            self.counters["input_queue_overflows"] += 1
+            self.cab.signal_input_drained()
+            return
+        yield from self.cab.dma.drain_input(wire_size, tail_time)
+        self.cab.signal_input_drained()
+        self.counters["packets_received"] += 1
+        deliver(packet)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Nectar reproduction."""
+
+from __future__ import annotations
+
+
+class NectarError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(NectarError):
+    """A configuration parameter is invalid or inconsistent."""
+
+
+class TopologyError(NectarError):
+    """Invalid wiring: bad port, duplicate attachment, unknown element."""
+
+
+class RouteError(NectarError):
+    """No route exists between the requested endpoints."""
+
+
+class HubCommandError(NectarError):
+    """A HUB command could not be executed (bad port, bad target hub)."""
+
+
+class DatalinkError(NectarError):
+    """The datalink layer exhausted its recovery attempts."""
+
+
+class TransportError(NectarError):
+    """A transport protocol failed to deliver (after retries, if any)."""
+
+
+class ChecksumError(TransportError):
+    """A packet failed checksum verification."""
+
+
+class MailboxError(NectarError):
+    """Invalid mailbox operation (closed mailbox, exhausted space)."""
+
+
+class ProtectionFault(NectarError):
+    """A memory access violated the CAB page-protection tables."""
+
+
+class AllocationError(NectarError):
+    """A memory region could not satisfy an allocation request."""
+
+
+class NodeError(NectarError):
+    """Invalid operation on a node host or node process."""
+
+
+class NectarineError(NectarError):
+    """Invalid use of the Nectarine task/message API."""

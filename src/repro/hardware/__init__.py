@@ -1,0 +1,38 @@
+"""Hardware models: fibers, HUBs, CABs, memories, buses (§§3–5)."""
+
+from .bom import (CAB_BOARD, HUB_BACKPLANE, HUB_IO_BOARD, BoardSpec,
+                  hub_bill_of_materials, system_bill_of_materials)
+from .cab import CabBoard, CabCpu
+from .checksum import ChecksumUnit, raw_checksum
+from .crossbar import Crossbar
+from .dma import DmaController
+from .fiber import DuplexFiber, Fiber
+from .frames import HubCommand, Packet, Payload, Reply, fletcher16
+from .hub import HARDWARE_VERSION, Hub
+from .hub_commands import (CommandOp, has_retry, is_open, is_supervisor,
+                           is_test_open, needs_controller, wants_reply)
+from .hub_controller import HubController
+from .hub_port import HubPort
+from .instrumentation import InstrumentationBoard
+from .memory import (ALL_ACCESS, EXECUTE, KERNEL_DOMAIN, READ, WRITE,
+                     BandwidthPool, MemoryBlock, MemoryRegion,
+                     ProtectionUnit)
+from .node import NodeHost
+from .timers import HardwareTimers, TimerHandle
+from .vme import VmeBus
+from .wiring import wire_cab_to_hub, wire_hub_to_hub
+
+__all__ = [
+    "ALL_ACCESS", "CAB_BOARD", "EXECUTE", "HUB_BACKPLANE", "HUB_IO_BOARD",
+    "KERNEL_DOMAIN", "READ", "WRITE", "BoardSpec",
+    "BandwidthPool", "CabBoard", "CabCpu", "ChecksumUnit", "CommandOp",
+    "Crossbar", "DmaController", "DuplexFiber", "Fiber", "HARDWARE_VERSION",
+    "HardwareTimers", "Hub", "HubCommand", "HubController", "HubPort",
+    "InstrumentationBoard",
+    "MemoryBlock", "MemoryRegion", "NodeHost", "Packet", "Payload",
+    "ProtectionUnit",
+    "Reply", "TimerHandle", "VmeBus", "fletcher16", "has_retry", "is_open",
+    "is_supervisor", "is_test_open", "needs_controller", "raw_checksum",
+    "wants_reply", "wire_cab_to_hub", "wire_hub_to_hub",
+    "hub_bill_of_materials", "system_bill_of_materials",
+]

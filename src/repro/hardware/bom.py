@@ -1,0 +1,113 @@
+"""The prototype's bill of materials (§4.1, §5.2, Figure 6).
+
+The paper records the physical build in unusual detail; this module
+keeps those numbers queryable so packaging claims (Figure 6, the §5.2
+component budget) are reproducible facts rather than prose:
+
+* HUB I/O board: 305 chips, ~110 W, 15×17 inches, 8 ports per board.
+* HUB backplane: 92 chips for the 16×16 crossbar + 132 for the central
+  controller (47 + 20 of those are hardware-debugging support), ~70 W.
+* CAB: 15×17 inches, ~100 W, ~360 components: 25 % data memory + DMA
+  ports, 15 % VME interface, 15 % CPU + program memory, 13 % I/O ports,
+  the rest (~120 chips) DMA controller, registers, checksum, protection,
+  clocks and timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    """One physical board in the prototype."""
+
+    name: str
+    width_inches: float
+    height_inches: float
+    power_watts: float
+    chip_count: int
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def area_sq_inches(self) -> float:
+        return self.width_inches * self.height_inches
+
+    def share(self, subsystem: str) -> float:
+        """Fraction of the board's chips in ``subsystem``."""
+        return self.breakdown[subsystem] / self.chip_count
+
+
+#: §4.1: "Each I/O board in the prototype uses 305 chips and has a
+#: typical power consumption of 110 watts; the boards are 15 x 17
+#: inches."
+HUB_IO_BOARD = BoardSpec(
+    name="HUB I/O board",
+    width_inches=15.0, height_inches=17.0,
+    power_watts=110.0, chip_count=305,
+    breakdown={"io_ports": 305},
+)
+
+#: §4.1: "The backplane uses 92 chips for the 16 x 16 crossbar and 132
+#: chips for the central controller.  (47 chips in the crossbar and 20
+#: chips in the controller are for hardware debugging.)"
+HUB_BACKPLANE = BoardSpec(
+    name="HUB backplane",
+    width_inches=15.0, height_inches=17.0,
+    power_watts=70.0, chip_count=224,
+    breakdown={
+        "crossbar": 92,
+        "controller": 132,
+    },
+)
+
+#: Debug-support chips inside the backplane counts above.
+HUB_BACKPLANE_DEBUG_CHIPS = {"crossbar": 47, "controller": 20}
+
+#: §5.2: "The CAB prototype is a 15 x 17 inch board, with a typical
+#: power consumption of 100 watts.  Of the nearly 360 components ...
+#: about 25% are for the data memory and DMA ports, 15% for the VME
+#: interface, 15% for the CPU and program memory, and 13% for the I/O
+#: ports.  The remaining 120 or so chips are divided among the DMA
+#: controller, CAB registers, hardware checksum computation, memory
+#: protection, and clocks and timers."
+CAB_BOARD = BoardSpec(
+    name="CAB",
+    width_inches=15.0, height_inches=17.0,
+    power_watts=100.0, chip_count=360,
+    breakdown={
+        "data_memory_and_dma_ports": 90,    # 25 %
+        "vme_interface": 54,                # 15 %
+        "cpu_and_program_memory": 54,       # 15 %
+        "io_ports": 47,                     # 13 %
+        "dma_controller_registers_checksum_protection_clocks": 115,
+    },
+)
+
+#: Ports per HUB I/O board (two boards populate a 16-port HUB, Fig 6).
+PORTS_PER_IO_BOARD = 8
+
+
+def hub_bill_of_materials(num_ports: int = 16) -> dict[str, object]:
+    """Boards, chips and power for one HUB of ``num_ports`` ports."""
+    boards = -(-num_ports // PORTS_PER_IO_BOARD)
+    chips = boards * HUB_IO_BOARD.chip_count + HUB_BACKPLANE.chip_count
+    power = boards * HUB_IO_BOARD.power_watts + HUB_BACKPLANE.power_watts
+    return {
+        "io_boards": boards,
+        "chips": chips,
+        "power_watts": power,
+        "debug_chips": sum(HUB_BACKPLANE_DEBUG_CHIPS.values()),
+    }
+
+
+def system_bill_of_materials(num_hubs: int, num_cabs: int) -> dict[str, object]:
+    """Aggregate chips/power for a whole installation."""
+    hub = hub_bill_of_materials()
+    return {
+        "hubs": num_hubs,
+        "cabs": num_cabs,
+        "chips": num_hubs * hub["chips"] + num_cabs * CAB_BOARD.chip_count,
+        "power_watts": (num_hubs * hub["power_watts"]
+                        + num_cabs * CAB_BOARD.power_watts),
+    }

@@ -1,0 +1,231 @@
+"""The CAB (communication accelerator board) hardware model (§5, Figure 8).
+
+The board combines a 16 MHz RISC CPU, fast program and data memories with
+a shared bandwidth budget, a DMA controller, a fiber interface (the same
+circuit as a HUB I/O port), a VME interface to the node, page-level memory
+protection with multiple domains, a hardware checksum unit, and hardware
+timers.  Software (the CAB kernel, datalink and transport layers) runs on
+top of this class via the hooks it exposes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
+
+from ..config import CabConfig, FiberConfig
+from ..sim import Broadcast, Event, Resource, Simulator
+from .checksum import ChecksumUnit
+from .dma import DmaController
+from .frames import Packet, Reply
+from .memory import BandwidthPool, MemoryRegion, ProtectionUnit
+from .timers import HardwareTimers
+from .vme import VmeBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fiber import Fiber
+    from .hub_port import HubPort
+
+
+class CabCpu:
+    """The CAB's RISC CPU: a serially shared execution resource.
+
+    Interrupts preempt thread-level work: thread computation is charged
+    in small quanta, and interrupt handlers jump the wait queue, so an
+    interrupt begins within one quantum of arriving — the behaviour the
+    upcall deadline of §6.2.1 depends on.  Handlers skip the thread-
+    switch cost (the SPARC reserves a register window for traps) but pay
+    a small dispatch overhead.
+    """
+
+    #: Preemption granularity for thread-level computation.
+    QUANTUM_NS = 10_000
+
+    def __init__(self, sim: Simulator, cfg: CabConfig, name: str) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.name = name
+        self._resource = Resource(sim, capacity=1)
+        self.busy_ns = 0
+        self.interrupt_count = 0
+
+    def execute(self, cost_ns: int):
+        """Charge ``cost_ns`` of thread-level CPU time (generator).
+
+        Work is consumed in quanta so interrupt-context work can slot in
+        between them (cooperative model of preemption).
+        """
+        remaining = int(cost_ns)
+        while remaining > 0:
+            quantum = min(remaining, self.QUANTUM_NS)
+            grant = self._resource.acquire()
+            yield grant
+            try:
+                yield self.sim.timeout(quantum)
+                self.busy_ns += quantum
+            finally:
+                self._resource.release()
+            remaining -= quantum
+
+    def execute_interrupt(self, cost_ns: int):
+        """Run an interrupt handler: preempts threads at the next
+        quantum boundary; charges dispatch overhead plus the body."""
+        self.interrupt_count += 1
+        total = self.cfg.interrupt_overhead_ns + int(cost_ns)
+        if total <= 0:
+            return
+        grant = self._resource.acquire(priority=True)
+        yield grant
+        try:
+            yield self.sim.timeout(total)
+            self.busy_ns += total
+        finally:
+            self._resource.release()
+
+    def utilization(self, since_ns: int = 0) -> float:
+        elapsed = self.sim.now - since_ns
+        if elapsed <= 0:
+            return 0.0
+        return min(self.busy_ns / elapsed, 1.0)
+
+
+class CabBoard:
+    """One CAB: the interface between a node and the Nectar-net."""
+
+    def __init__(self, sim: Simulator, name: str, cfg: CabConfig,
+                 fiber_cfg: Optional[FiberConfig] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.cfg = cfg
+        self.fiber_cfg = fiber_cfg or FiberConfig()
+        self.cpu = CabCpu(sim, cfg, f"{name}.cpu")
+        self.memory_pool = BandwidthPool(sim, cfg.memory_bytes_per_ns,
+                                         name=f"{name}.membw")
+        self.data_memory = MemoryRegion(sim, f"{name}.data",
+                                        cfg.data_memory_bytes,
+                                        self.memory_pool, dma_capable=True)
+        self.program_memory = MemoryRegion(sim, f"{name}.prog",
+                                           cfg.program_memory_bytes,
+                                           self.memory_pool,
+                                           dma_capable=False)
+        self.protection = ProtectionUnit(
+            cfg, cfg.data_memory_bytes + cfg.program_memory_bytes)
+        self.dma = DmaController(self)
+        self.checksum = ChecksumUnit(cfg)
+        self.timers = HardwareTimers(sim)
+        self.vme = VmeBus(sim, cfg, f"{name}.vme")
+        # --- fiber interface (same circuit as a HUB I/O port, §5.2) ---
+        self.out_fiber: Optional["Fiber"] = None
+        self.hub_port: Optional["HubPort"] = None
+        self.first_hop_ready = True
+        self.ready_changed = Broadcast(sim)
+        # --- software hooks ---
+        self._rx_handler: Optional[Callable[..., Any]] = None
+        self._rx_backlog: list[tuple[Packet, int, int, int]] = []
+        self._reply_waiters: dict[int, Event] = {}
+        self.counters: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # fiber endpoint protocol (called by the attached hub port's fiber)
+    # ------------------------------------------------------------------
+
+    @property
+    def fiber_rate_bytes_per_ns(self) -> float:
+        return self.fiber_cfg.bytes_per_ns
+
+    def deliver(self, item: Union[Packet, Reply], wire_size: int) -> None:
+        """Head of ``item`` arrived at the CAB's fiber input queue."""
+        if isinstance(item, Reply):
+            self._deliver_reply(item)
+            return
+        head_time = self.sim.now
+        tail_time = head_time + self._tail_delay(wire_size)
+        self.counters["packets_received"] += 1
+        if self._rx_handler is None:
+            self._rx_backlog.append((item, wire_size, head_time, tail_time))
+            return
+        self._dispatch_rx(item, wire_size, head_time, tail_time)
+
+    def _tail_delay(self, wire_size: int) -> int:
+        from ..sim import units
+        return units.transfer_time(wire_size, self.fiber_rate_bytes_per_ns)
+
+    def notify_ready(self) -> None:
+        """The hub's input queue (our first hop) drained."""
+        self.first_hop_ready = True
+        self.ready_changed.fire()
+
+    def signal_input_drained(self) -> None:
+        """Our input queue drained: raise the hub port's ready bit.
+
+        Called by the datalink once the inbound DMA has emptied the queue
+        (or the packet was dropped)."""
+        if self.hub_port is not None:
+            self.sim.call_in(self.fiber_cfg.propagation_ns,
+                             self.hub_port.notify_ready)
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+
+    def transmit(self, packet: Packet) -> Event:
+        """Queue a packet on the outgoing fiber.
+
+        Returns the fiber's completion event (tail has left the board).
+        Payload packets clear the first-hop ready flag — the start of
+        packet at our output register (§4.2.3).
+        """
+        if self.out_fiber is None:
+            raise RuntimeError(f"{self.name} is not wired to a HUB")
+        if packet.has_payload:
+            self.first_hop_ready = False
+        self.counters["packets_sent"] += 1
+        return self.out_fiber.send(packet)
+
+    # ------------------------------------------------------------------
+    # receive path plumbing
+    # ------------------------------------------------------------------
+
+    def on_receive(self, handler: Callable[..., Any]) -> None:
+        """Register the datalink's receive-interrupt handler.
+
+        ``handler(packet, wire_size, head_time, tail_time)`` must return a
+        generator; it is spawned as an interrupt-context process.  Packets
+        that arrived before registration are replayed.
+        """
+        self._rx_handler = handler
+        backlog, self._rx_backlog = self._rx_backlog, []
+        for packet, size, head, tail in backlog:
+            self._dispatch_rx(packet, size, head, tail)
+
+    def _dispatch_rx(self, packet: Packet, wire_size: int,
+                     head_time: int, tail_time: int) -> None:
+        self.sim.process(
+            self._rx_handler(packet, wire_size, head_time, tail_time),
+            name=f"{self.name}.rx#{packet.packet_id}")
+
+    # ------------------------------------------------------------------
+    # reply plumbing (datalink waits on command replies)
+    # ------------------------------------------------------------------
+
+    def expect_reply(self, seq: int) -> Event:
+        """Event that fires with the :class:`Reply` for command ``seq``."""
+        if seq in self._reply_waiters:
+            raise RuntimeError(f"{self.name}: reply {seq} already expected")
+        event = Event(self.sim)
+        self._reply_waiters[seq] = event
+        return event
+
+    def cancel_reply(self, seq: int) -> None:
+        self._reply_waiters.pop(seq, None)
+
+    def _deliver_reply(self, reply: Reply) -> None:
+        waiter = self._reply_waiters.pop(reply.seq, None)
+        if waiter is None:
+            self.counters["stray_replies"] += 1
+            return
+        self.counters["replies_received"] += 1
+        waiter.succeed(reply)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CabBoard {self.name}>"

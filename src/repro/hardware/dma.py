@@ -1,0 +1,109 @@
+"""The CAB's DMA controller (§5.1–5.2).
+
+The controller manages simultaneous transfers between the incoming and
+outgoing fibers and CAB memory, and between VME and CAB memory, leaving
+the CPU free for protocol and application processing.  It also handles
+flow control: it waits for data to arrive if the input queue is empty and
+for data to drain if the output queue is full.
+
+One channel per direction; each channel is busy for the duration of its
+transfer.  Memory-bandwidth accounting goes through the board's
+:class:`~repro.hardware.memory.BandwidthPool`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cab import CabBoard
+    from .frames import Packet
+
+#: Bytes the inbound DMA may lag behind the fiber (burst granularity).
+DRAIN_RESIDUAL_BYTES = 32
+
+
+class DmaController:
+    """Four-port DMA engine: fiber-in, fiber-out, VME-in, VME-out."""
+
+    def __init__(self, cab: "CabBoard") -> None:
+        self.cab = cab
+        self.sim = cab.sim
+        self.cfg = cab.cfg
+        self.fiber_out = Resource(self.sim, capacity=1)
+        self.fiber_in = Resource(self.sim, capacity=1)
+        self.vme_in = Resource(self.sim, capacity=1)
+        self.vme_out = Resource(self.sim, capacity=1)
+        self.transfers = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+        self.bytes_vme = 0
+
+    # ------------------------------------------------------------------
+
+    def send_packet(self, packet: "Packet"):
+        """DMA a packet from data memory to the outgoing fiber (generator).
+
+        Completes when the tail has left the CAB; memory is read at fiber
+        pace for the duration ("gathers the packet when it transfers the
+        data to the fiber output queue using DMA", §6.2.1).
+        """
+        grant = self.fiber_out.acquire()
+        yield grant
+        stream = self.cab.memory_pool.open_stream(
+            self.cab.fiber_rate_bytes_per_ns)
+        try:
+            yield self.sim.timeout(self.cfg.dma_start_ns)
+            yield self.cab.transmit(packet)
+            self.transfers += 1
+            self.bytes_out += packet.wire_size()
+        finally:
+            self.cab.memory_pool.close_stream(stream)
+            self.fiber_out.release()
+
+    def drain_input(self, wire_size: int, tail_time: int):
+        """DMA an arrived packet from the input queue to memory (generator).
+
+        The DMA keeps pace with the fiber, so completion is bounded by the
+        tail's arrival plus a small burst residual.
+        """
+        grant = self.fiber_in.acquire()
+        yield grant
+        stream = self.cab.memory_pool.open_stream(
+            self.cab.fiber_rate_bytes_per_ns)
+        try:
+            yield self.sim.timeout(self.cfg.dma_start_ns)
+            remaining = tail_time - self.sim.now
+            if remaining > 0:
+                # Flow control: wait for the data to arrive (§5.2).
+                yield self.sim.timeout(remaining)
+            residual = min(wire_size, DRAIN_RESIDUAL_BYTES)
+            yield from self.cab.memory_pool.transfer(
+                residual, self.cab.memory_pool.capacity)
+            self.transfers += 1
+            self.bytes_in += wire_size
+        finally:
+            self.cab.memory_pool.close_stream(stream)
+            self.fiber_in.release()
+
+    def vme_transfer(self, num_bytes: int, to_cab: bool):
+        """DMA between node memory and CAB data memory over VME (generator)."""
+        channel = self.vme_in if to_cab else self.vme_out
+        grant = channel.acquire()
+        yield grant
+        stream = self.cab.memory_pool.open_stream(self.cfg.vme_bytes_per_ns)
+        try:
+            yield self.sim.timeout(self.cfg.dma_start_ns)
+            yield from self.cab.vme.transfer(num_bytes)
+            self.transfers += 1
+            self.bytes_vme += num_bytes
+        finally:
+            self.cab.memory_pool.close_stream(stream)
+            channel.release()
+
+    def memory_copy(self, num_bytes: int):
+        """CPU-initiated memory-to-memory move inside data memory."""
+        yield from self.cab.memory_pool.transfer(
+            num_bytes, self.cab.memory_pool.capacity / 2)

@@ -1,0 +1,146 @@
+"""Unidirectional fiber-optic links (§3.2).
+
+Each fiber carries 100 Mb/s (TAXI-limited), i.e. 80 ns/byte, plus a small
+propagation delay.  Packets serialise FIFO; replies "steal cycles" and are
+never blocked (§4.2.1), modelled by :meth:`Fiber.send_priority`.
+
+Fault injection (drop/corrupt probabilities from
+:class:`~repro.config.FiberConfig`) lives here because a 1989 fiber run
+really was where bits died; reliable transports recover from it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Optional, Protocol
+
+from ..config import FiberConfig
+from ..sim import Event, Simulator, Store, units
+from .frames import Packet, Reply
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class FiberEndpoint(Protocol):
+    """Anything that can terminate a fiber (a HUB port or a CAB)."""
+
+    def deliver(self, item: Any, wire_size: int) -> None:
+        """Called when the item's *head* arrives.  ``wire_size`` lets the
+        receiver compute when the tail will have arrived."""
+
+
+class Fiber:
+    """One direction of a fiber pair."""
+
+    def __init__(self, sim: Simulator, cfg: FiberConfig, name: str,
+                 rng: Optional[random.Random] = None) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.name = name
+        self.rng = rng or random.Random(0)
+        self.endpoint: Optional[FiberEndpoint] = None
+        self._pending: Store = Store(sim)
+        self._transmitter = sim.process(self._transmit_loop(),
+                                        name=f"fiber:{name}")
+        # statistics
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    def connect(self, endpoint: FiberEndpoint) -> None:
+        if self.endpoint is not None:
+            raise RuntimeError(f"fiber {self.name} already terminated")
+        self.endpoint = endpoint
+
+    # ------------------------------------------------------------------
+
+    def send(self, item: Any, wire_size: Optional[int] = None) -> Event:
+        """Queue ``item`` for transmission; event fires when the tail has
+        left this end of the fiber."""
+        size = self._size_of(item, wire_size)
+        done = Event(self.sim)
+        self._pending.put((item, size, done))
+        return done
+
+    def send_priority(self, item: Any, wire_size: Optional[int] = None) -> None:
+        """Transmit by cycle-stealing: never waits for queued traffic.
+
+        Used for replies and ready signals, which the hardware guarantees
+        reach the origin "within a bounded amount of time" (§4.2.1).
+        """
+        size = self._size_of(item, wire_size)
+        latency = (self.cfg.propagation_ns
+                   + units.transfer_time(size, self.cfg.bytes_per_ns))
+        self.bytes_sent += size
+        self.sim.call_in(latency, lambda: self._deliver(item, size))
+
+    def _size_of(self, item: Any, wire_size: Optional[int]) -> int:
+        if wire_size is not None:
+            return wire_size
+        if isinstance(item, Packet):
+            return item.wire_size()
+        if isinstance(item, Reply):
+            return item.wire_size
+        raise TypeError(f"cannot size {item!r}; pass wire_size")
+
+    def _transmit_loop(self):
+        while True:
+            item, size, done = yield self._pending.get()
+            serialization = units.transfer_time(size, self.cfg.bytes_per_ns)
+            # Cut-through: the head arrives after propagation plus one byte
+            # time; the line stays busy until the tail has been serialised.
+            deliver = True
+            if self._faulted(item):
+                self.packets_dropped += 1
+                if isinstance(item, Packet):
+                    # A damaged packet still arrives and drains queues —
+                    # the framing error is detected at reception, so
+                    # flow-control (ready bit) accounting stays sound.
+                    item.meta["framing_error"] = True
+                else:
+                    deliver = False  # replies/ready signals just vanish
+            else:
+                self._corrupt_maybe(item)
+            if deliver:
+                head_latency = (self.cfg.propagation_ns
+                                + units.transfer_time(1, self.cfg.bytes_per_ns))
+                self.sim.call_in(head_latency,
+                                 lambda i=item, s=size: self._deliver(i, s))
+            yield self.sim.timeout(serialization)
+            self.packets_sent += 1
+            self.bytes_sent += size
+            done.succeed()
+
+    def _deliver(self, item: Any, size: int) -> None:
+        if self.endpoint is None:
+            raise RuntimeError(f"fiber {self.name} has no endpoint")
+        self.endpoint.deliver(item, size)
+
+    def _faulted(self, item: Any) -> bool:
+        if self.cfg.drop_probability <= 0.0:
+            return False
+        return self.rng.random() < self.cfg.drop_probability
+
+    def _corrupt_maybe(self, item: Any) -> None:
+        if self.cfg.corrupt_probability <= 0.0:
+            return
+        if isinstance(item, Packet) and item.payload is not None:
+            if self.rng.random() < self.cfg.corrupt_probability:
+                item.payload.corrupt = True
+
+    def tail_delay(self, wire_size: int) -> int:
+        """Ticks between head delivery and tail arrival for ``wire_size``."""
+        serialization = units.transfer_time(wire_size, self.cfg.bytes_per_ns)
+        return max(serialization - units.transfer_time(1, self.cfg.bytes_per_ns), 0)
+
+
+class DuplexFiber:
+    """The fiber pair connecting a CAB or HUB port to a HUB port (§3.1)."""
+
+    def __init__(self, sim: Simulator, cfg: FiberConfig, name: str,
+                 rng_a: Optional[random.Random] = None,
+                 rng_b: Optional[random.Random] = None) -> None:
+        self.forward = Fiber(sim, cfg, f"{name}:fwd", rng_a)
+        self.backward = Fiber(sim, cfg, f"{name}:bwd", rng_b)
+        self.name = name

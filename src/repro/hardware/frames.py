@@ -1,0 +1,166 @@
+"""Wire-level units: payloads, HUB commands, packets, and replies.
+
+A Nectar packet on the fiber is a byte stream: an optional prefix of 3-byte
+HUB commands (consumed hop by hop), an optional framed data segment
+(``start of packet`` … ``end of packet``), and an optional trailing
+``close all``.  The simulator carries these as structured
+:class:`Packet` objects whose :meth:`Packet.wire_size` reproduces the byte
+count the hardware would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Any, Optional
+
+from .hub_commands import CommandOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hub import Hub
+
+_packet_ids = count(1)
+_command_seqs = count(1)
+
+
+def fletcher16(data: bytes) -> int:
+    """The checksum the CAB's hardware unit computes (Fletcher-16)."""
+    low = high = 0
+    for byte in data:
+        low = (low + byte) % 255
+        high = (high + low) % 255
+    return (high << 8) | low
+
+
+@dataclass
+class Payload:
+    """The data segment of a packet.
+
+    ``size`` is what timing is computed from; ``data`` optionally carries
+    real bytes so integrity (checksums, reassembly) can be verified
+    end-to-end in tests.  ``header`` holds transport-layer fields — the
+    model keeps them structured rather than serialised, but charges
+    ``header_bytes`` of wire size for them.
+    """
+
+    size: int
+    data: Optional[bytes] = None
+    header: dict[str, Any] = field(default_factory=dict)
+    checksum: Optional[int] = None
+    corrupt: bool = False
+
+    def __post_init__(self) -> None:
+        if self.data is not None and len(self.data) != self.size:
+            raise ValueError(
+                f"payload size {self.size} != len(data) {len(self.data)}")
+        if self.size < 0:
+            raise ValueError(f"negative payload size {self.size}")
+
+    def seal(self) -> "Payload":
+        """Compute and attach the checksum (as the send-side DMA would)."""
+        self.checksum = self.compute_checksum()
+        return self
+
+    def compute_checksum(self) -> int:
+        if self.data is not None:
+            return fletcher16(self.data)
+        # Synthetic payloads checksum over their size so corruption of the
+        # flag is still detectable.
+        return fletcher16(self.size.to_bytes(8, "little"))
+
+    def verify_checksum(self) -> bool:
+        """True if the payload is intact (fails when fault injection hit)."""
+        if self.corrupt:
+            return False
+        if self.checksum is None:
+            return True
+        return self.checksum == self.compute_checksum()
+
+
+@dataclass
+class HubCommand:
+    """One 3-byte HUB command: ``(op, hub, param)`` (§4.2)."""
+
+    op: CommandOp
+    hub_id: str
+    param: int = 0
+    seq: int = field(default_factory=lambda: next(_command_seqs))
+    #: Name of the CAB that issued the command (for reply delivery).
+    origin: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"<{self.op.name} {self.hub_id} p={self.param} #{self.seq}>"
+
+
+@dataclass
+class Reply:
+    """A HUB's answer to a ``*_reply`` or status command.
+
+    Replies travel backwards over the route the command packet established,
+    stealing cycles so they are never blocked (§4.2.1).
+    """
+
+    seq: int
+    ok: bool
+    hub_id: str
+    info: dict[str, Any] = field(default_factory=dict)
+    wire_size: int = 3
+
+
+class Packet:
+    """A unit of traffic on the Nectar-net.
+
+    ``commands`` is the leading command prefix; each HUB consumes the
+    commands addressed to itself and forwards the remainder through the
+    connections those commands opened.  ``payload`` is the framed data
+    segment (or None for pure command packets).  ``close_after`` appends a
+    ``close all`` that tears connections down behind the data (§4.2.1).
+    """
+
+    __slots__ = ("packet_id", "commands", "payload", "close_after", "origin",
+                 "reverse_path", "meta", "command_bytes", "framing_bytes")
+
+    def __init__(self, origin: str,
+                 commands: Optional[list[HubCommand]] = None,
+                 payload: Optional[Payload] = None,
+                 close_after: bool = False,
+                 command_bytes: int = 3,
+                 framing_bytes: int = 2,
+                 header_bytes: int = 0) -> None:
+        self.packet_id = next(_packet_ids)
+        self.commands: list[HubCommand] = list(commands or [])
+        self.payload = payload
+        self.close_after = close_after
+        self.origin = origin
+        #: Hops recorded on the way in: list of (hub, input_port_index).
+        self.reverse_path: list[tuple["Hub", int]] = []
+        self.meta: dict[str, Any] = {"header_bytes": header_bytes}
+        self.command_bytes = command_bytes
+        self.framing_bytes = framing_bytes
+
+    @property
+    def has_payload(self) -> bool:
+        return self.payload is not None
+
+    def wire_size(self) -> int:
+        """Bytes this packet occupies on a fiber *from here onward*."""
+        size = len(self.commands) * self.command_bytes
+        if self.payload is not None:
+            size += (self.framing_bytes + self.meta.get("header_bytes", 0)
+                     + self.payload.size)
+        if self.close_after:
+            size += self.command_bytes
+        return size
+
+    def record_hop(self, hub: "Hub", in_port: int) -> None:
+        self.reverse_path.append((hub, in_port))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [f"#{self.packet_id}", f"from={self.origin}"]
+        if self.commands:
+            parts.append(f"cmds={len(self.commands)}")
+        if self.payload is not None:
+            parts.append(f"data={self.payload.size}B")
+        if self.close_after:
+            parts.append("close_all")
+        return f"<Packet {' '.join(parts)}>"

@@ -1,0 +1,144 @@
+"""The HUB command set (§4.2).
+
+The prototype hardware documents 38 user and 14 supervisor commands.  The
+paper describes their *categories* — "connections, locks, status, and flow
+control" for user commands; "system testing and reconfiguration" for
+supervisor commands — and works through the connection commands in detail.
+We implement every command whose semantics the paper specifies or implies,
+collapsing pure encoding variants; the resulting set below covers all four
+user categories and the supervisor category with 24 + 14 operations.
+
+Commands that require serialisation (opens, locks) are executed by the
+central controller at one command per 70 ns cycle; "localized" commands
+(closes, ready-bit and status operations) execute inside the I/O port
+(§4.1).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class CommandOp(Enum):
+    """Operation codes for the 3-byte HUB commands."""
+
+    # --- connections (controller-serialised) ---
+    OPEN = auto()                   #: try once; silently drop on failure
+    OPEN_REPLY = auto()             #: try once; reply with outcome
+    OPEN_RETRY = auto()             #: retry until the output frees
+    OPEN_RETRY_REPLY = auto()       #: retry, then reply ("open with retry and reply")
+    TEST_OPEN = auto()              #: open only if downstream queue ready
+    TEST_OPEN_REPLY = auto()        #: ditto, with reply
+    TEST_OPEN_RETRY = auto()        #: "test open with retry" (§4.2.3)
+    TEST_OPEN_RETRY_REPLY = auto()  #: ditto, with reply
+
+    # --- connections (port-local) ---
+    CLOSE = auto()        #: close the connection feeding output port <param>
+    CLOSE_INPUT = auto()  #: close every connection fed by input port <param>
+    CLOSE_ALL = auto()    #: travelling close: tear down behind the data
+
+    # --- locks (controller-serialised) ---
+    LOCK = auto()             #: reserve output port <param> for the origin
+    LOCK_REPLY = auto()       #: ditto, with reply
+    LOCK_RETRY_REPLY = auto() #: wait for the lock, then reply
+    UNLOCK = auto()           #: release a held lock
+
+    # --- status (port-local, always replied) ---
+    STATUS_OUTPUT = auto()  #: who owns output <param>?
+    STATUS_INPUT = auto()   #: which outputs does input <param> feed?
+    STATUS_READY = auto()   #: ready bit of port <param>
+    STATUS_LOCK = auto()    #: lock holder of output <param>
+    STATUS_TABLE = auto()   #: full status-table snapshot
+
+    # --- flow control (port-local) ---
+    SET_READY = auto()    #: force the ready bit of port <param> on
+    CLEAR_READY = auto()  #: force the ready bit of port <param> off
+
+    # --- misc user ---
+    NOP = auto()   #: consume a cycle (timing/diagnostics)
+    ECHO = auto()  #: reply unconditionally (liveness probe)
+
+    # --- supervisor: testing and reconfiguration (§4.2) ---
+    SV_RESET_HUB = auto()        #: drop all connections, locks, retries
+    SV_RESET_PORT = auto()       #: reset one port (queue, ready bit)
+    SV_ENABLE_PORT = auto()      #: (re-)enable a port
+    SV_DISABLE_PORT = auto()     #: take a port out of service
+    SV_LOOPBACK_ON = auto()      #: port echoes its input to its output
+    SV_LOOPBACK_OFF = auto()     #: back to normal forwarding
+    SV_READ_COUNTERS = auto()    #: reply with event counters
+    SV_CLEAR_COUNTERS = auto()   #: zero the event counters
+    SV_SELFTEST = auto()         #: run built-in self test, reply outcome
+    SV_READ_VERSION = auto()     #: reply hardware revision
+    SV_FREEZE = auto()           #: stop accepting user commands
+    SV_UNFREEZE = auto()         #: resume accepting user commands
+    SV_SET_TIMEOUT = auto()      #: configure the retry-watchdog (param cycles)
+    SV_READ_STATUS = auto()      #: supervisor status snapshot (incl. frozen)
+
+
+#: Commands the central controller must serialise (§4.1).
+CONTROLLER_OPS = frozenset({
+    CommandOp.OPEN, CommandOp.OPEN_REPLY, CommandOp.OPEN_RETRY,
+    CommandOp.OPEN_RETRY_REPLY, CommandOp.TEST_OPEN,
+    CommandOp.TEST_OPEN_REPLY, CommandOp.TEST_OPEN_RETRY,
+    CommandOp.TEST_OPEN_RETRY_REPLY, CommandOp.LOCK, CommandOp.LOCK_REPLY,
+    CommandOp.LOCK_RETRY_REPLY, CommandOp.UNLOCK,
+})
+
+#: Open-family commands (establish crossbar connections).
+OPEN_OPS = frozenset({
+    CommandOp.OPEN, CommandOp.OPEN_REPLY, CommandOp.OPEN_RETRY,
+    CommandOp.OPEN_RETRY_REPLY, CommandOp.TEST_OPEN,
+    CommandOp.TEST_OPEN_REPLY, CommandOp.TEST_OPEN_RETRY,
+    CommandOp.TEST_OPEN_RETRY_REPLY,
+})
+
+#: Opens that must also wait for the downstream ready bit (§4.2.3).
+TEST_OPS = frozenset({
+    CommandOp.TEST_OPEN, CommandOp.TEST_OPEN_REPLY,
+    CommandOp.TEST_OPEN_RETRY, CommandOp.TEST_OPEN_RETRY_REPLY,
+})
+
+#: Opens/locks that keep retrying instead of failing.
+RETRY_OPS = frozenset({
+    CommandOp.OPEN_RETRY, CommandOp.OPEN_RETRY_REPLY,
+    CommandOp.TEST_OPEN_RETRY, CommandOp.TEST_OPEN_RETRY_REPLY,
+    CommandOp.LOCK_RETRY_REPLY,
+})
+
+#: Commands that send a reply to the origin CAB.
+REPLY_OPS = frozenset({
+    CommandOp.OPEN_REPLY, CommandOp.OPEN_RETRY_REPLY,
+    CommandOp.TEST_OPEN_REPLY, CommandOp.TEST_OPEN_RETRY_REPLY,
+    CommandOp.LOCK_REPLY, CommandOp.LOCK_RETRY_REPLY,
+    CommandOp.STATUS_OUTPUT, CommandOp.STATUS_INPUT, CommandOp.STATUS_READY,
+    CommandOp.STATUS_LOCK, CommandOp.STATUS_TABLE, CommandOp.ECHO,
+    CommandOp.SV_READ_COUNTERS, CommandOp.SV_SELFTEST,
+    CommandOp.SV_READ_VERSION, CommandOp.SV_READ_STATUS,
+})
+
+#: Supervisor commands.
+SUPERVISOR_OPS = frozenset(op for op in CommandOp if op.name.startswith("SV_"))
+
+
+def is_supervisor(op: CommandOp) -> bool:
+    return op in SUPERVISOR_OPS
+
+
+def needs_controller(op: CommandOp) -> bool:
+    return op in CONTROLLER_OPS
+
+
+def is_open(op: CommandOp) -> bool:
+    return op in OPEN_OPS
+
+
+def is_test_open(op: CommandOp) -> bool:
+    return op in TEST_OPS
+
+
+def has_retry(op: CommandOp) -> bool:
+    return op in RETRY_OPS
+
+
+def wants_reply(op: CommandOp) -> bool:
+    return op in REPLY_OPS

@@ -1,0 +1,210 @@
+"""HUB I/O ports (§4.1, Figure 5).
+
+Functionally a port is an input queue plus an output register.  The port
+extracts commands from the incoming byte stream (forwarding
+serialisation-requiring ones to the central controller and executing
+"localized" ones itself), forwards the remaining bytes through whatever
+crossbar connections exist, and maintains the ready bit used for
+inter-HUB packet-switched flow control (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from ..sim import Broadcast, Store
+from .frames import Packet, Reply
+from .hub_commands import CommandOp, OPEN_OPS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fiber import Fiber
+    from .hub import Hub
+
+
+class HubPort:
+    """One of the HUB's I/O ports."""
+
+    def __init__(self, hub: "Hub", index: int) -> None:
+        self.hub = hub
+        self.index = index
+        self.sim = hub.sim
+        #: Fiber this port transmits on (toward its peer).  Set at wiring.
+        self.out_fiber: Optional["Fiber"] = None
+        #: The device at the far end (a HubPort or a CAB-like endpoint).
+        self.peer: Optional[Any] = None
+        #: Ready bit: "the input queue of the next HUB connected to it is
+        #: ready to store a new packet" (§4.2.3).
+        self.ready_bit = True
+        self.ready_changed = Broadcast(self.sim)
+        self.enabled = True
+        self.loopback = False
+        self._arrivals: Store = Store(self.sim)
+        self._worker = self.sim.process(self._input_loop(),
+                                        name=f"{hub.name}.p{index}")
+        self.max_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # fiber endpoint protocol
+    # ------------------------------------------------------------------
+
+    def deliver(self, item: Union[Packet, Reply], wire_size: int) -> None:
+        """Head of ``item`` has arrived on this port's input fiber."""
+        if isinstance(item, Reply):
+            # Replies steal cycles on the reverse path; route immediately.
+            self.hub.route_reply(item)
+            return
+        if not self.enabled:
+            self.hub.count("drops_disabled_port")
+            return
+        self._arrivals.put((item, wire_size, self.sim.now))
+        self.max_queue_depth = max(self.max_queue_depth, len(self._arrivals))
+
+    def notify_ready(self) -> None:
+        """Downstream input queue drained: raise the ready bit."""
+        self.ready_bit = True
+        self.ready_changed.fire()
+        # Test-opens queued in the controller may now proceed (§4.2.3).
+        self.hub.notify_ready_changed(self.index)
+
+    # ------------------------------------------------------------------
+    # input processing
+    # ------------------------------------------------------------------
+
+    def _input_loop(self):
+        cfg = self.hub.cfg
+        while True:
+            packet, size, head_time = yield self._arrivals.get()
+            yield from self._handle(packet, size, head_time)
+            # The packet has fully left this input queue: signal upstream
+            # (the signal travels the reverse fiber, §4.2.3).
+            if not self._arrivals.items:
+                self._signal_upstream_drained()
+
+    def _signal_upstream_drained(self) -> None:
+        peer = self.peer
+        if peer is None:
+            return
+        delay = self.hub.fiber_cfg.propagation_ns
+        self.sim.call_in(delay, peer.notify_ready)
+
+    def _handle(self, packet: Packet, size: int, head_time: int):
+        hub = self.hub
+        cfg = hub.cfg
+        if packet.meta.get("framing_error"):
+            # Damaged on the way in: discard after it drains the queue.
+            hub.count("framing_errors")
+            return
+        if self.loopback:
+            # Supervisor loopback: echo the packet back out our own fiber.
+            yield self.sim.timeout(cfg.transfer_ns)
+            yield self.out_fiber.send(packet)
+            hub.count("loopback_packets")
+            return
+        packet.record_hop(hub, self.index)
+        closing = False
+        first = True
+        while packet.commands:
+            command = packet.commands[0]
+            if command.hub_id not in (hub.name, "*"):
+                break
+            if command.op is CommandOp.CLOSE_ALL:
+                # A travelling close: forward it, then tear down behind it.
+                closing = True
+                break
+            packet.commands.pop(0)
+            if not first:
+                # Later commands are still streaming in at fiber rate.
+                yield self.sim.timeout(round(
+                    cfg.command_bytes * hub.fiber_cfg.ns_per_byte))
+            first = False
+            yield self.sim.timeout(cfg.port_command_cycles * cfg.cycle_ns)
+            result = yield from hub.execute_command(
+                command, in_port=self.index,
+                reverse_path=list(packet.reverse_path))
+            if command.op in OPEN_OPS and not result.get("ok", False):
+                hub.count("opens_abandoned")
+        outputs = sorted(hub.crossbar.outputs_of(self.index))
+        has_remainder = bool(packet.commands) or packet.has_payload \
+            or packet.close_after or closing
+        if not has_remainder:
+            return
+        if not outputs:
+            if closing:
+                # Nothing further to close here; consume the command.
+                hub.count("close_all_terminated")
+            else:
+                hub.count("stray_packets")
+            return
+        # Cut-through forwarding: 5 cycles from input queue to output
+        # register (§4), then the output fiber serialises the bytes.
+        yield self.sim.timeout(cfg.transfer_ns)
+        done_events = []
+        for out_index in outputs:
+            clone = self._clone_for(packet, len(outputs) > 1)
+            done_events.append(self.sim.process(
+                self._transmit(out_index, clone, closing),
+                name=f"{hub.name}.p{self.index}->p{out_index}"))
+        yield self.sim.all_of(done_events)
+        if closing:
+            freed = hub.crossbar.disconnect_input(self.index)
+            for out_index in freed:
+                hub.notify_output_freed(out_index)
+            hub.count("close_all_executed")
+
+    def _clone_for(self, packet: Packet, multicast: bool) -> Packet:
+        """Copy a packet for one multicast branch.
+
+        The byte stream sent down every branch is identical; cloning only
+        exists so each branch keeps its own command cursor, reverse path
+        and corruption flag.
+        """
+        if not multicast:
+            return packet
+        payload = None
+        if packet.payload is not None:
+            payload = dc_replace(packet.payload)
+        clone = Packet(
+            origin=packet.origin,
+            commands=[dc_replace(c) for c in packet.commands],
+            payload=payload,
+            close_after=packet.close_after,
+            command_bytes=packet.command_bytes,
+            framing_bytes=packet.framing_bytes,
+        )
+        clone.meta = dict(packet.meta)
+        clone.reverse_path = list(packet.reverse_path)
+        return clone
+
+    def _transmit(self, out_index: int, packet: Packet, closing: bool):
+        hub = self.hub
+        out_port = hub.ports[out_index]
+        if packet.has_payload:
+            # Start of packet at the output register clears the ready bit
+            # (§4.2.3); it rises again when the downstream queue drains.
+            out_port.ready_bit = False
+        yield out_port.out_fiber.send(packet)
+        hub.count("packets_forwarded")
+        if packet.close_after or closing:
+            hub.close_output(out_index)
+
+    # ------------------------------------------------------------------
+    # supervisor operations
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Supervisor port reset: flush the queue, raise the ready bit."""
+        self._arrivals.items.clear()
+        self.ready_bit = True
+        self.ready_changed.fire()
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "enabled": self.enabled,
+            "loopback": self.loopback,
+            "ready": self.ready_bit,
+            "queued": len(self._arrivals),
+            "owner": self.hub.crossbar.owner_of(self.index),
+            "feeds": sorted(self.hub.crossbar.outputs_of(self.index)),
+        }

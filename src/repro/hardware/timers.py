@@ -1,0 +1,71 @@
+"""CAB hardware timers (§5.1).
+
+"Hardware timers allow time-outs to be set by the software with low
+overhead" — arming or cancelling a timer costs
+:attr:`~repro.config.CabConfig.timer_set_ns` of CPU time (charged by the
+caller); expiry invokes the callback directly, modelling the timer
+interrupt.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable
+
+from ..sim import Simulator
+
+_timer_ids = count(1)
+
+
+class TimerHandle:
+    """A cancellable armed timer."""
+
+    __slots__ = ("timer_id", "deadline", "_callback", "cancelled", "fired")
+
+    def __init__(self, timer_id: int, deadline: int,
+                 callback: Callable[[], None]) -> None:
+        self.timer_id = timer_id
+        self.deadline = deadline
+        self._callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> bool:
+        """Disarm; returns False if the timer already fired."""
+        if self.fired:
+            return False
+        self.cancelled = True
+        return True
+
+    def _expire(self) -> None:
+        if self.cancelled or self.fired:
+            return
+        self.fired = True
+        self._callback()
+
+
+class HardwareTimers:
+    """The CAB's bank of hardware timers."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.armed = 0
+        self.expired = 0
+        self.cancelled = 0
+
+    def set(self, delay: int, callback: Callable[[], None]) -> TimerHandle:
+        """Arm a timer ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"negative timer delay {delay}")
+        handle = TimerHandle(next(_timer_ids), self.sim.now + delay, callback)
+        self.armed += 1
+
+        def expire() -> None:
+            if handle.cancelled:
+                self.cancelled += 1
+                return
+            self.expired += 1
+            handle._expire()
+
+        self.sim.call_in(delay, expire)
+        return handle

@@ -1,0 +1,71 @@
+"""The VME bus between a node and its CAB (§5.2).
+
+The CAB occupies a 24-bit region of the node's VME address space; node and
+CAB communicate through shared buffers, DMA, and VME interrupts.  The bus
+moves 10 MB/s and admits one bus master at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..config import CabConfig
+from ..sim import Resource, Simulator, units
+
+
+class VmeBus:
+    """A single-master bus shared by the node and the CAB."""
+
+    def __init__(self, sim: Simulator, cfg: CabConfig, name: str) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.name = name
+        self._bus = Resource(sim, capacity=1)
+        self.bytes_transferred = 0
+        self.interrupts_to_node = 0
+        self.interrupts_to_cab = 0
+        self._node_handler: Optional[Callable[[int], None]] = None
+        self._cab_handler: Optional[Callable[[int], None]] = None
+
+    @property
+    def bytes_per_ns(self) -> float:
+        return self.cfg.vme_bytes_per_ns
+
+    def transfer(self, num_bytes: int, rate: Optional[float] = None):
+        """Timed bus transfer (generator).  One master at a time."""
+        if num_bytes <= 0:
+            return
+        grant = self._bus.acquire()
+        yield grant
+        try:
+            effective = min(rate or self.bytes_per_ns, self.bytes_per_ns)
+            yield self.sim.timeout(units.transfer_time(num_bytes, effective))
+            self.bytes_transferred += num_bytes
+        finally:
+            self._bus.release()
+
+    def transfer_time(self, num_bytes: int) -> int:
+        """Uncontended transfer duration (for analytic checks)."""
+        return units.transfer_time(num_bytes, self.bytes_per_ns)
+
+    # ------------------------------------------------------------------
+    # interrupts
+    # ------------------------------------------------------------------
+
+    def on_node_interrupt(self, handler: Callable[[int], None]) -> None:
+        self._node_handler = handler
+
+    def on_cab_interrupt(self, handler: Callable[[int], None]) -> None:
+        self._cab_handler = handler
+
+    def interrupt_node(self, vector: int = 0) -> None:
+        """CAB → node interrupt (message delivery, service completion)."""
+        self.interrupts_to_node += 1
+        if self._node_handler is not None:
+            self._node_handler(vector)
+
+    def interrupt_cab(self, vector: int = 0) -> None:
+        """Node → CAB interrupt (service requests)."""
+        self.interrupts_to_cab += 1
+        if self._cab_handler is not None:
+            self._cab_handler(vector)

@@ -1,0 +1,18 @@
+"""Internet protocols over Nectar — §6.2.2's planned experiment, built.
+
+:class:`IpLayer` + :class:`UdpLayer` + :class:`TcpLayer` form a compact
+real TCP/IP suite running on the CAB, used to quantify the generality
+tax relative to the Nectar-specific transports.
+"""
+
+from .ip import (IP_HEADER_BYTES, PROTO_TCP, PROTO_UDP, UDP_HEADER_BYTES,
+                 IpLayer, UdpLayer, UdpSocket, cab_address, format_address)
+from .tcp import (TCP_HEADER_BYTES, TcpConnection, TcpLayer, TcpListener)
+from .vmtp import PROTO_VMTP, VMTP_HEADER_BYTES, VmtpLayer
+
+__all__ = [
+    "IP_HEADER_BYTES", "PROTO_TCP", "PROTO_UDP", "TCP_HEADER_BYTES",
+    "UDP_HEADER_BYTES", "VMTP_HEADER_BYTES", "PROTO_VMTP", "IpLayer",
+    "TcpConnection", "TcpLayer", "TcpListener", "UdpLayer", "UdpSocket",
+    "VmtpLayer", "cab_address", "format_address",
+]

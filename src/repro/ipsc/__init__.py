@@ -1,0 +1,5 @@
+"""iPSC hypercube communication library on Nectarine (§7)."""
+
+from .library import ANY_TYPE, IpscLibrary, IpscProcess
+
+__all__ = ["ANY_TYPE", "IpscLibrary", "IpscProcess"]

@@ -1,0 +1,195 @@
+"""The Intel iPSC communication library on top of Nectarine (§7).
+
+"To run hypercube applications on Nectar, we have implemented the Intel
+iPSC communication library on top of Nectarine.  Since Nectarine is
+functionally a superset of the iPSC primitives, this implementation is
+relatively simple."
+
+The classic iPSC/2 C interface is reproduced: ``csend``/``crecv`` with
+typed messages and wildcard selection, ``cprobe``, ``mynode``/
+``numnodes``, and the common global operations (``gsync``, ``gisum``,
+``gcol``) built on the point-to-point primitives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from ..errors import NectarineError
+from ..kernel.mailbox import Message
+from ..nectarine.api import NectarineRuntime, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system.builder import CabStack
+
+#: iPSC wildcard: receive any message type.
+ANY_TYPE = -1
+
+
+class IpscProcess:
+    """The library handle one rank ("node" in iPSC terms) programs with."""
+
+    def __init__(self, library: "IpscLibrary", rank: int,
+                 task: Task) -> None:
+        self.library = library
+        self.rank = rank
+        self.task = task
+
+    # -- identity ------------------------------------------------------
+
+    def mynode(self) -> int:
+        return self.rank
+
+    def numnodes(self) -> int:
+        return len(self.library.processes)
+
+    # -- point to point (generators) ------------------------------------
+
+    def csend(self, msg_type: int, data: Union[bytes, int],
+              dst_rank: int):
+        """Send a typed message to ``dst_rank``."""
+        if msg_type < 0:
+            raise NectarineError("message types must be non-negative")
+        dst = self.library.process(dst_rank)
+        if isinstance(data, int):
+            body, size = None, data
+        else:
+            body, size = bytes(data), len(data)
+        yield from self.task.cab.transport.datagram.send(
+            dst.task.cab.name, dst.task.mailbox.name, data=body, size=size,
+            meta={"ipsc_type": msg_type, "ipsc_src": self.rank})
+
+    def crecv(self, type_selector: int = ANY_TYPE):
+        """Receive the next message matching ``type_selector``."""
+        def matches(message: Message) -> bool:
+            if type_selector == ANY_TYPE:
+                return "ipsc_type" in message.meta
+            return message.meta.get("ipsc_type") == type_selector
+        message = yield from self.task.receive_match(matches)
+        return message
+
+    def cprobe(self, type_selector: int = ANY_TYPE) -> bool:
+        """Non-blocking test for a pending matching message."""
+        for message in self.task.mailbox.messages:
+            if type_selector == ANY_TYPE and "ipsc_type" in message.meta:
+                return True
+            if message.meta.get("ipsc_type") == type_selector:
+                return True
+        return False
+
+    def infonode(self, message: Message) -> int:
+        """Sender rank of a received message (cf. ``infonode()``)."""
+        return message.meta.get("ipsc_src", -1)
+
+    def infotype(self, message: Message) -> int:
+        return message.meta.get("ipsc_type", -1)
+
+    # -- global operations (generators) ---------------------------------
+
+    _SYNC_TYPE = 1 << 20
+    _SUM_TYPE = 1 << 21
+    _COL_TYPE = 1 << 22
+
+    def gsync(self):
+        """Barrier across all ranks (dimension-order exchange)."""
+        yield from self._dimension_exchange(self._SYNC_TYPE, None)
+
+    def gisum(self, value: int):
+        """Global integer sum via recursive doubling; every rank returns
+        the total (the partial sum must fold in *between* dimensions)."""
+        self._check_power_of_two()
+        n = self.numnodes()
+        total = value
+        stride = 1
+        dimension = 0
+        while stride < n:
+            partner = self.rank ^ stride
+            msg_type = self._SUM_TYPE + dimension
+            yield from self.csend(
+                msg_type, total.to_bytes(8, "little", signed=True), partner)
+            message = yield from self.crecv(msg_type)
+            total += int.from_bytes(message.data, "little", signed=True)
+            stride <<= 1
+            dimension += 1
+        return total
+
+    def _check_power_of_two(self) -> None:
+        n = self.numnodes()
+        if n & (n - 1):
+            raise NectarineError("iPSC global ops need a power-of-two "
+                                 f"number of ranks, got {n}")
+
+    def _dimension_exchange(self, base_type: int, make_payload):
+        """Hypercube dimension-order exchange (requires power-of-two N
+        ranks; pairs exchange along each dimension)."""
+        self._check_power_of_two()
+        n = self.numnodes()
+        collected = []
+        dimension = 0
+        stride = 1
+        while stride < n:
+            partner = self.rank ^ stride
+            msg_type = base_type + dimension
+            body = make_payload() if make_payload is not None else b"\0"
+            yield from self.csend(msg_type, body, partner)
+            message = yield from self.crecv(msg_type)
+            if make_payload is not None:
+                collected.append(message.data)
+            stride <<= 1
+            dimension += 1
+        return collected
+
+    def gcol(self, data: bytes):
+        """Gather every rank's bytes; returns a list indexed by rank."""
+        n = self.numnodes()
+        contributions: dict[int, bytes] = {self.rank: data}
+        stride = 1
+        dimension = 0
+        while stride < n:
+            partner = self.rank ^ stride
+            msg_type = self._COL_TYPE + dimension
+            blob = b"".join(
+                rank.to_bytes(4, "little") + len(body).to_bytes(4, "little")
+                + body for rank, body in sorted(contributions.items()))
+            yield from self.csend(msg_type, blob, partner)
+            message = yield from self.crecv(msg_type)
+            offset = 0
+            payload = message.data
+            while offset < len(payload):
+                rank = int.from_bytes(payload[offset:offset + 4], "little")
+                length = int.from_bytes(payload[offset + 4:offset + 8],
+                                        "little")
+                offset += 8
+                contributions[rank] = payload[offset:offset + length]
+                offset += length
+            stride <<= 1
+            dimension += 1
+        return [contributions[rank] for rank in range(n)]
+
+
+class IpscLibrary:
+    """Builds the rank → task mapping for one application."""
+
+    def __init__(self, runtime: NectarineRuntime,
+                 cabs: list["CabStack"]) -> None:
+        if not cabs:
+            raise NectarineError("iPSC library needs at least one CAB")
+        self.runtime = runtime
+        self.processes: list[IpscProcess] = []
+        for rank, cab in enumerate(cabs):
+            task = runtime.create_task(f"ipsc{rank}", cab)
+            self.processes.append(IpscProcess(self, rank, task))
+
+    def process(self, rank: int) -> IpscProcess:
+        if not 0 <= rank < len(self.processes):
+            raise NectarineError(f"no iPSC rank {rank}")
+        return self.processes[rank]
+
+    def start(self, rank: int, body) -> None:
+        """Run ``body(process)`` as rank ``rank``'s program."""
+        process = self.process(rank)
+        process.task.start(lambda _task: body(process))
+
+    def start_all(self, body) -> None:
+        for process in self.processes:
+            self.start(process.rank, body)

@@ -1,0 +1,122 @@
+"""The CAB kernel: lightweight threads on a non-preemptive scheduler (§6.1).
+
+Threads "execute as a set of coroutines, using a simple, non-preemptive
+scheduler": a thread is awakened by an event, takes some action, and
+voluntarily goes back to waiting.  Context switches cost 10–15 µs, nearly
+all of it SPARC register-window save/restore; the cost is charged when a
+blocked thread resumes.
+
+Threads share the CAB CPU with interrupt handlers through the board's
+:class:`~repro.hardware.cab.CabCpu`; handlers skip the switch cost.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..config import KernelConfig
+from ..sim import Event, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.cab import CabBoard
+
+_thread_ids = count(1)
+
+
+class CabThread:
+    """A lightweight kernel thread (cf. Mach C Threads, §6.1)."""
+
+    def __init__(self, kernel: "CabKernel", process: Process,
+                 name: str) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.thread_id = next(_thread_ids)
+        self.name = name
+        self.switches = 0
+
+    @property
+    def is_alive(self) -> bool:
+        return self.process.is_alive
+
+    @property
+    def done(self) -> Process:
+        """The completion event (a thread is awaitable)."""
+        return self.process
+
+    def interrupt(self, cause: Any = None) -> None:
+        self.process.interrupt(cause)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.is_alive else "done"
+        return f"<CabThread {self.name}#{self.thread_id} {state}>"
+
+
+class CabKernel:
+    """Per-CAB kernel: thread management, CPU accounting, current-thread
+    bookkeeping.  Mailboxes and timers build on this (same package)."""
+
+    def __init__(self, cab: "CabBoard", cfg: KernelConfig) -> None:
+        self.cab = cab
+        self.sim = cab.sim
+        self.cfg = cfg
+        self.threads: list[CabThread] = []
+        self.total_switches = 0
+
+    # ------------------------------------------------------------------
+    # thread lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator: Generator[Event, Any, Any],
+              name: Optional[str] = None) -> CabThread:
+        """Create and start a kernel thread running ``generator``."""
+        label = name or f"thread{next(_thread_ids)}"
+        process = self.sim.process(generator,
+                                   name=f"{self.cab.name}.{label}")
+        thread = CabThread(self, process, label)
+        self.threads.append(thread)
+        process.add_callback(lambda event: self._reap(thread, event))
+        return thread
+
+    def _reap(self, thread: CabThread, event: Event) -> None:
+        if thread in self.threads:
+            self.threads.remove(thread)
+        if not event._ok:
+            # A thread died with an unhandled error.  Errors must never
+            # pass silently: halt the simulation loudly.
+            self.sim._halt(RuntimeError(
+                f"CAB thread {self.cab.name}.{thread.name} crashed: "
+                f"{event._value!r}"), cause=event._value)
+
+    @property
+    def live_threads(self) -> int:
+        return len(self.threads)
+
+    # ------------------------------------------------------------------
+    # primitives used inside thread bodies (all generators)
+    # ------------------------------------------------------------------
+
+    def compute(self, cost_ns: int):
+        """Charge ``cost_ns`` of thread-level CPU work."""
+        yield from self.cab.cpu.execute(cost_ns)
+
+    def wait(self, event: Event):
+        """Block on ``event``; pay the context-switch cost on resumption."""
+        value = yield event
+        self.total_switches += 1
+        yield from self.cab.cpu.execute(self.cfg.thread_switch_ns)
+        return value
+
+    def sleep(self, duration_ns: int):
+        """Block for ``duration_ns`` (switch cost charged on wake)."""
+        result = yield from self.wait(self.sim.timeout(duration_ns))
+        return result
+
+    def yield_cpu(self):
+        """Voluntarily reschedule (one switch, no blocking event)."""
+        result = yield from self.sleep(0)
+        return result
+
+    def wakeup_cost(self):
+        """Charge the cost of making another thread runnable."""
+        yield from self.cab.cpu.execute(self.cfg.wakeup_ns)

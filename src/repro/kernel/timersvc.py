@@ -1,0 +1,67 @@
+"""Kernel timer service: software timeouts on the hardware timers (§5.1).
+
+The kernel "provides support for simple, time-critical operations such as
+memory management and timers".  Arming charges the low hardware cost; the
+expiry callback runs in interrupt context.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..hardware.timers import TimerHandle
+from ..sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .threads import CabKernel
+
+
+class TimerService:
+    """Thread-friendly wrapper over the CAB's hardware timer bank."""
+
+    def __init__(self, kernel: "CabKernel") -> None:
+        self.kernel = kernel
+        self.cab = kernel.cab
+        self.sim = kernel.sim
+
+    def arm(self, delay_ns: int,
+            callback: Callable[[], None]) -> TimerHandle:
+        """Arm a hardware timer (caller should charge
+        :meth:`arm_cost` if running in a thread)."""
+        return self.cab.timers.set(delay_ns, callback)
+
+    def arm_cost(self):
+        """CPU cost of arming/cancelling (generator)."""
+        yield from self.cab.cpu.execute(self.cab.cfg.timer_set_ns)
+
+    def timeout_event(self, delay_ns: int) -> tuple[Event, TimerHandle]:
+        """An event that fires when the timer expires, plus its handle."""
+        event = Event(self.sim)
+        handle = self.arm(delay_ns,
+                          lambda: event.succeed() if not event.triggered
+                          else None)
+        return event, handle
+
+    def with_deadline(self, event: Event, delay_ns: int) -> Event:
+        """An event firing with ``("ok", value)`` or ``("timeout", None)``.
+
+        This is the kernel's standard guarded-wait: used for reply
+        timeouts and retransmission deadlines.
+        """
+        guarded = Event(self.sim)
+
+        def on_event(ev: Event) -> None:
+            if not guarded.triggered:
+                handle.cancel()
+                if ev.ok:
+                    guarded.succeed(("ok", ev.value))
+                else:
+                    guarded.succeed(("error", ev.value))
+
+        def on_timeout() -> None:
+            if not guarded.triggered:
+                guarded.succeed(("timeout", None))
+
+        handle = self.arm(delay_ns, on_timeout)
+        event.add_callback(on_event)
+        return guarded

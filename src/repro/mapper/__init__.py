@@ -1,0 +1,12 @@
+"""Automated task mapping onto Nectar configurations (§6.3 future work)."""
+
+from .deploy import deploy, run_workload
+from .graph import ChannelSpec, TaskGraph, TaskSpec
+from .placement import (Placement, annealing_map, communication_cost,
+                        greedy_traffic_map, round_robin_map)
+
+__all__ = [
+    "ChannelSpec", "Placement", "TaskGraph", "TaskSpec", "annealing_map",
+    "communication_cost", "deploy", "greedy_traffic_map",
+    "round_robin_map", "run_workload",
+]

@@ -1,0 +1,5 @@
+"""Nectarine: tasks, buffers and messages — the user API (§6.3)."""
+
+from .api import Buffer, NectarineRuntime, Task
+
+__all__ = ["Buffer", "NectarineRuntime", "Task"]

@@ -1,0 +1,18 @@
+"""The three CAB-node interfaces of §6.2.3.
+
+Efficiency/transparency trade-off, fastest first:
+
+1. :class:`SharedMemoryInterface` — mapped CAB memory, polling, no
+   syscalls.
+2. :class:`SocketInterface` — syscalls and node copies, transport still
+   off-loaded to the CAB.
+3. :class:`NetworkDriverInterface` — the CAB as a dumb network; the node
+   runs the whole protocol stack (binary compatibility).
+"""
+
+from .driver import NetworkDriverInterface
+from .shared_memory import SharedMemoryInterface
+from .socket import SocketInterface
+
+__all__ = ["NetworkDriverInterface", "SharedMemoryInterface",
+           "SocketInterface"]

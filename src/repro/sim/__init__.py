@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel underlying the Nectar reproduction.
+
+Public surface::
+
+    from repro.sim import Simulator, Interrupt, Store, Container, Resource
+
+Time is integer nanoseconds; see :mod:`repro.sim.units`.
+"""
+
+from .engine import SimulationError, Simulator
+from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .process import Interrupt, Process, ProcessCrash
+from .resources import Broadcast, Container, Resource, Store
+from .trace import TraceRecord, Tracer
+from . import units
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Broadcast",
+    "Condition",
+    "Container",
+    "Event",
+    "Interrupt",
+    "Process",
+    "ProcessCrash",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "units",
+]

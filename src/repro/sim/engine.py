@@ -1,0 +1,171 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the clock (integer nanoseconds) and the agenda — a
+priority queue of triggered events.  Hardware models and protocol code are
+written as coroutine processes; the engine interleaves them in timestamp
+order, with FIFO tie-breaking for determinism.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+
+class SimulationError(Exception):
+    """The simulation was halted by an unrecoverable error."""
+
+
+class Simulator:
+    """Event loop, clock, and process factory.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def hello():
+            yield sim.timeout(100)
+            return sim.now
+
+        proc = sim.process(hello())
+        sim.run()
+        assert proc.value == 100
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._agenda: list[tuple[int, int, int, Event]] = []
+        self._sequence = count()
+        self._active_process: Optional[Process] = None
+        self._halted: Optional[BaseException] = None
+        self._halt_cause: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # clock and agenda
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def _enqueue(self, event: Event, delay: int, urgent: bool = False) -> None:
+        """Place a triggered event on the agenda ``delay`` ticks from now.
+
+        ``urgent`` events sort before normal events at the same timestamp
+        (used for interrupt delivery).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        priority = 0 if urgent else 1
+        heapq.heappush(self._agenda,
+                       (self._now + delay, priority, next(self._sequence), event))
+
+    def _halt(self, error: BaseException,
+              cause: Optional[BaseException] = None) -> None:
+        self._halted = error
+        self._halt_cause = cause
+
+    # ------------------------------------------------------------------
+    # event factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ticks from now with ``value``."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: Optional[str] = None) -> Process:
+        """Start a coroutine process; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Event firing when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Event firing when any event in ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def call_at(self, time: int, func: Callable[[], None]) -> None:
+        """Run ``func()`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(f"call_at({time}) is in the past (now={self._now})")
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _event: func())
+        self._enqueue(event, delay=time - self._now)
+
+    def call_in(self, delay: int, func: Callable[[], None]) -> None:
+        """Run ``func()`` ``delay`` ticks from now."""
+        self.call_at(self._now + int(delay), func)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next agenda entry, or None if idle."""
+        return self._agenda[0][0] if self._agenda else None
+
+    def step(self) -> None:
+        """Process exactly one agenda entry."""
+        if self._halted is not None:
+            raise SimulationError(str(self._halted)) from self._halt_cause
+        if not self._agenda:
+            raise RuntimeError("step() on an empty agenda")
+        when, _priority, _seq, event = heapq.heappop(self._agenda)
+        self._now = when
+        event._run_callbacks()
+        if self._halted is not None:
+            error, self._halted = self._halted, None
+            cause, self._halt_cause = self._halt_cause, None
+            raise SimulationError(str(error)) from cause
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the agenda drains or the clock would pass ``until``.
+
+        With ``until`` given, all events with timestamp ``<= until`` are
+        processed and the clock is then advanced to exactly ``until``.
+        Returns the final clock value.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"run(until={until}) is in the past "
+                             f"(now={self._now})")
+        while self._agenda:
+            if until is not None and self._agenda[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def run_process(self, generator: Generator[Event, Any, Any],
+                    name: Optional[str] = None,
+                    until: Optional[int] = None) -> Any:
+        """Convenience: start ``generator``, run, and return its value.
+
+        Raises if the process did not complete within ``until``.
+        """
+        proc = self.process(generator, name=name)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={self._now}")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

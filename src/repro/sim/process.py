@@ -1,0 +1,158 @@
+"""Coroutine processes driven by the simulation engine.
+
+A :class:`Process` wraps a generator.  The generator yields
+:class:`~repro.sim.events.Event` objects; each yield suspends the process
+until the event fires, at which point the event's value is sent back into
+the generator (or its exception raised there).  A process is itself an
+event that fires with the generator's return value, so processes can wait
+on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The CAB kernel uses interrupts the way the hardware does: to pull a
+    thread out of a wait when a higher-level event (packet arrival, timer)
+    demands attention.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class ProcessCrash(Exception):
+    """An unhandled exception escaped a process with no waiters.
+
+    Wrapping keeps the original traceback while making the simulation stop
+    loudly instead of dropping errors on the floor.
+    """
+
+
+class Process(Event):
+    """A running coroutine inside the simulation.
+
+    Create via :meth:`repro.sim.engine.Simulator.process`.  The process event
+    fires when the generator returns (value = return value) or fails when
+    the generator raises.
+    """
+
+    __slots__ = ("name", "_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got "
+                            f"{type(generator).__name__}")
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        sim._enqueue(bootstrap, delay=0)
+        self._waiting_on = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is not waiting (e.g. it is scheduled to run at this instant)
+        delivers the interrupt before its next resumption.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            target.remove_callback(self._resume)
+        self._waiting_on = None
+        carrier = Event(self.sim)
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        carrier.callbacks.append(self._resume)
+        self.sim._enqueue(carrier, delay=0, urgent=True)
+        self._waiting_on = carrier
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
+            else:
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as interrupt:
+            # An unhandled interrupt terminates the process quietly with
+            # the interrupt cause as its value, mirroring thread kill.
+            self.sim._active_process = None
+            self.succeed(interrupt.cause)
+            return
+        except BaseException as error:
+            self.sim._active_process = None
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._crash(error)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            self._crash(TypeError(
+                f"process {self.name!r} yielded {target!r}, expected Event"))
+            return
+        if target.sim is not self.sim:
+            self._crash(ValueError(
+                f"process {self.name!r} yielded event of another simulator"))
+            return
+        if target.processed:
+            # Already-processed events resume the process on the next step.
+            carrier = Event(self.sim)
+            carrier._ok = target._ok
+            carrier._value = target._value
+            carrier.callbacks.append(self._resume)
+            self.sim._enqueue(carrier, delay=0)
+            self._waiting_on = carrier
+        else:
+            target.add_callback(self._resume)
+            self._waiting_on = target
+
+    def _crash(self, error: BaseException) -> None:
+        self._generator.close()
+        if self.callbacks:
+            # Someone is waiting on this process: propagate to them.
+            self.fail(error)
+        else:
+            self.sim._halt(ProcessCrash(
+                f"unhandled error in process {self.name!r}: {error!r}"),
+                cause=error)
+            # Mark triggered so is_alive is False after a crash.
+            self._ok = False
+            self._value = error
+            self.callbacks = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,226 @@
+"""Synchronisation and queueing primitives built on events.
+
+These are the building blocks the hardware and kernel models share:
+
+* :class:`Store` — a bounded FIFO of items (fiber queues, mailboxes).
+* :class:`Container` — a bounded quantity of homogeneous "stuff"
+  (byte-counted buffer occupancy).
+* :class:`Resource` — counted mutual exclusion (bus ownership, DMA
+  channels).
+* :class:`Broadcast` — a repeating signal many processes can wait on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+INFINITY = float("inf")
+
+
+class Store:
+    """A FIFO item queue with optional capacity.
+
+    ``put(item)`` and ``get()`` return events.  Puts block while the store
+    is full; gets block while it is empty.  Waiters are served in FIFO
+    order, which keeps simulations deterministic.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = INFINITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Event that fires (with ``item``) once the item is stored."""
+        event = Event(self.sim)
+        self._putters.append((event, item))
+        self._service()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Store ``item`` immediately if there is room; returns success."""
+        if self.is_full or self._putters:
+            return False
+        self.items.append(item)
+        self._service()
+        return True
+
+    def get(self) -> Event:
+        """Event that fires with the oldest item once one is available."""
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._service()
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Pop the oldest item if present: returns ``(ok, item_or_None)``."""
+        if self.items and not self._getters:
+            item = self.items.popleft()
+            self._service()
+            return True, item
+        return False, None
+
+    def _service(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed(item)
+                progressed = True
+            while self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True
+
+
+class Container:
+    """A bounded quantity of homogeneous units (e.g. bytes in a buffer).
+
+    ``put(n)`` blocks while the container lacks room for ``n`` units;
+    ``get(n)`` blocks until ``n`` units are present.  Requests are served
+    in FIFO order per side.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = INFINITY,
+                 initial: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= initial <= capacity:
+            raise ValueError(f"initial level {initial} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = initial
+        self._getters: deque[tuple[Event, int]] = deque()
+        self._putters: deque[tuple[Event, int]] = deque()
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.level
+
+    def put(self, amount: int) -> Event:
+        if amount <= 0:
+            raise ValueError(f"put amount must be positive, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(f"put of {amount} exceeds capacity "
+                             f"{self.capacity}")
+        event = Event(self.sim)
+        self._putters.append((event, amount))
+        self._service()
+        return event
+
+    def get(self, amount: int) -> Event:
+        if amount <= 0:
+            raise ValueError(f"get amount must be positive, got {amount}")
+        event = Event(self.sim)
+        self._getters.append((event, amount))
+        self._service()
+        return event
+
+    def _service(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self.level += amount
+                    event.succeed(amount)
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self.level >= amount:
+                    self._getters.popleft()
+                    self.level -= amount
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Resource:
+    """Counted mutual exclusion with FIFO queueing.
+
+    ``acquire()`` returns an event that fires when a slot is granted;
+    ``release()`` frees a slot.  Used for bus ownership and DMA channels.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self, priority: bool = False) -> Event:
+        """Request a slot.  ``priority=True`` jumps the wait queue
+        (used for interrupt-context work that must preempt thread-level
+        work at the next quantum boundary)."""
+        event = Event(self.sim)
+        if self.in_use < self.capacity and not self._waiters:
+            self.in_use += 1
+            event.succeed()
+        elif priority:
+            self._waiters.appendleft(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        if self._waiters:
+            event = self._waiters.popleft()
+            event.succeed()
+        else:
+            self.in_use -= 1
+
+class Broadcast:
+    """A repeating signal: every ``fire`` wakes all current waiters.
+
+    Unlike :class:`~repro.sim.events.Event`, a Broadcast can fire many
+    times; each ``wait()`` returns a fresh one-shot event tied to the next
+    firing.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._waiters: list[Event] = []
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+        return len(waiters)

@@ -1,0 +1,88 @@
+"""Event tracing — the software analogue of Nectar's instrumentation board.
+
+The prototype HUB backplane accepts an instrumentation board that monitors
+and records events related to the crossbar and its controller (§4.1).
+:class:`Tracer` plays that role for the whole simulation: components emit
+typed records, and tests/benchmarks query them afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: int
+    source: str
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects from instrumented components.
+
+    Tracing is off by default (zero overhead beyond one predicate check);
+    enable globally or per-kind.  A bounded ``limit`` turns the buffer into
+    a ring so long benchmark runs cannot exhaust memory.
+    """
+
+    def __init__(self, sim: "Simulator", enabled: bool = False,
+                 limit: Optional[int] = None) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+        self._kind_filter: Optional[set[str]] = None
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def enable(self, kinds: Optional[list[str]] = None) -> None:
+        """Turn tracing on, optionally restricted to the given kinds."""
+        self.enabled = True
+        self._kind_filter = set(kinds) if kinds else None
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Call ``listener(record)`` on every accepted record."""
+        self._listeners.append(listener)
+
+    def record(self, source: str, kind: str, **fields: Any) -> None:
+        """Emit a record (dropped unless tracing accepts this kind)."""
+        if not self.enabled:
+            return
+        if self._kind_filter is not None and kind not in self._kind_filter:
+            return
+        entry = TraceRecord(self.sim.now, source, kind, fields)
+        self.records.append(entry)
+        if self.limit is not None and len(self.records) > self.limit:
+            del self.records[0]
+        for listener in self._listeners:
+            listener(entry)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def find(self, kind: Optional[str] = None,
+             source: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate records matching the given kind/source filters."""
+        for entry in self.records:
+            if kind is not None and entry.kind != kind:
+                continue
+            if source is not None and entry.source != source:
+                continue
+            yield entry
+
+    def count(self, kind: Optional[str] = None,
+              source: Optional[str] = None) -> int:
+        return sum(1 for _ in self.find(kind=kind, source=source))

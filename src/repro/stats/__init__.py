@@ -1,0 +1,8 @@
+"""Measurement utilities for experiments and benchmarks."""
+
+from .recorders import LatencyRecorder, ThroughputMeter, percentile
+from .tables import ExperimentRow, ExperimentTable
+from .timeline import Timeline
+
+__all__ = ["ExperimentRow", "ExperimentTable", "LatencyRecorder",
+           "ThroughputMeter", "Timeline", "percentile"]

@@ -1,0 +1,106 @@
+"""Latency and throughput recorders used by tests and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..sim import units
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (which it sorts a copy of)."""
+    if not samples:
+        raise ValueError("percentile of no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    ordered = sorted(samples)
+    rank = max(math.ceil(fraction * len(ordered)) - 1, 0)
+    return ordered[rank]
+
+
+class LatencyRecorder:
+    """Collects latency samples (nanoseconds)."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self.samples: list[int] = []
+
+    def add(self, sample_ns: int) -> None:
+        self.samples.append(sample_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> int:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> int:
+        return max(self.samples)
+
+    def p(self, fraction: float) -> float:
+        return percentile(self.samples, fraction)
+
+    @property
+    def mean_us(self) -> float:
+        return units.to_us(self.mean)
+
+    def summary(self) -> dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean_us": units.to_us(self.mean),
+            "min_us": units.to_us(self.minimum),
+            "p50_us": units.to_us(self.p(0.50)),
+            "p95_us": units.to_us(self.p(0.95)),
+            "p99_us": units.to_us(self.p(0.99)),
+            "max_us": units.to_us(self.maximum),
+        }
+
+
+class ThroughputMeter:
+    """Counts bytes over a simulated interval."""
+
+    def __init__(self, name: str = "throughput") -> None:
+        self.name = name
+        self.bytes_total = 0
+        self.messages = 0
+        self._start: Optional[int] = None
+        self._end: Optional[int] = None
+
+    def start(self, now: int) -> None:
+        self._start = now
+
+    def record(self, num_bytes: int, now: int) -> None:
+        if self._start is None:
+            self._start = now
+        self.bytes_total += num_bytes
+        self.messages += 1
+        self._end = now
+
+    @property
+    def elapsed_ns(self) -> int:
+        if self._start is None or self._end is None:
+            return 0
+        return self._end - self._start
+
+    @property
+    def mbits_per_second(self) -> float:
+        return units.throughput_mbps(self.bytes_total, self.elapsed_ns)
+
+    @property
+    def mbytes_per_second(self) -> float:
+        return units.throughput_mbytes(self.bytes_total, self.elapsed_ns)

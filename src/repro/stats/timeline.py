@@ -1,0 +1,74 @@
+"""ASCII utilization timelines from trace records.
+
+The hardware instrumentation board (§4.1) records events; this module
+renders them the way its operators would have plotted them: a per-source
+activity strip over simulated time.  Used by examples and debugging, not
+by the benchmarks (which report numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..sim.trace import TraceRecord
+
+
+class Timeline:
+    """Buckets trace records into a fixed-width activity strip."""
+
+    def __init__(self, start_ns: int, end_ns: int, width: int = 60) -> None:
+        if end_ns <= start_ns:
+            raise ValueError(f"empty window [{start_ns}, {end_ns}]")
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.width = width
+        #: source -> per-bucket event counts.
+        self._buckets: dict[str, list[int]] = {}
+
+    @property
+    def bucket_ns(self) -> float:
+        return (self.end_ns - self.start_ns) / self.width
+
+    def add(self, record: TraceRecord) -> None:
+        """Count one record into its source's strip (out-of-window
+        records are ignored)."""
+        if not self.start_ns <= record.time < self.end_ns:
+            return
+        strip = self._buckets.setdefault(record.source,
+                                         [0] * self.width)
+        index = int((record.time - self.start_ns) / self.bucket_ns)
+        strip[min(index, self.width - 1)] += 1
+
+    def add_all(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def density(self, source: str) -> list[int]:
+        return list(self._buckets.get(source, [0] * self.width))
+
+    _SHADES = " .:-=+*#%@"
+
+    def render(self, sources: Optional[list[str]] = None) -> str:
+        """One line per source; darker cells mean more events."""
+        names = sources if sources is not None \
+            else sorted(self._buckets)
+        if not names:
+            return "(no events)"
+        peak = max((max(self._buckets.get(name, [0]))
+                    for name in names), default=0)
+        label_width = max(len(name) for name in names)
+        lines = [f"{'':{label_width}}  "
+                 f"t = {self.start_ns}..{self.end_ns} ns "
+                 f"({self.bucket_ns:.0f} ns/cell)"]
+        for name in names:
+            strip = self._buckets.get(name, [0] * self.width)
+            cells = "".join(
+                self._SHADES[0] if count == 0 else
+                self._SHADES[min(1 + count * (len(self._SHADES) - 2)
+                                 // max(peak, 1),
+                                 len(self._SHADES) - 1)]
+                for count in strip)
+            lines.append(f"{name:{label_width}}  |{cells}|")
+        return "\n".join(lines)

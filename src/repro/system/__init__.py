@@ -1,0 +1,5 @@
+"""System assembly: the NectarSystem builder and CAB software stacks."""
+
+from .builder import CabStack, NectarSystem
+
+__all__ = ["CabStack", "NectarSystem"]

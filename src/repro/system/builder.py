@@ -1,0 +1,210 @@
+"""Whole-system assembly: HUBs, CABs, nodes, fibers, software (§3.1).
+
+:class:`NectarSystem` is the top-level object users create.  Adding a CAB
+wires the fiber pair, instantiates the CAB kernel, datalink and transport
+layers, and registers the attachment with the router; adding a node
+attaches it over VME.  Figure 1's picture — nodes, CABs, Nectar-net — maps
+one-to-one onto this class.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+from ..config import NectarConfig, default_config
+from ..datalink.protocol import Datalink
+from ..datalink.routing import Router
+from ..errors import TopologyError
+from ..hardware.cab import CabBoard
+from ..hardware.hub import Hub
+from ..hardware.node import NodeHost
+from ..hardware.wiring import wire_cab_to_hub, wire_hub_to_hub
+from ..kernel.services import NodeServices
+from ..kernel.threads import CabKernel
+from ..sim import Simulator, Tracer
+from ..transport.base import TransportManager
+
+_auto_names = count(1)
+
+
+class CabStack:
+    """A CAB board plus its full software stack."""
+
+    def __init__(self, system: "NectarSystem", board: CabBoard) -> None:
+        self.system = system
+        self.board = board
+        self.kernel = CabKernel(board, system.cfg.kernel)
+        self.datalink = Datalink(board, self.kernel, system.router,
+                                 system.cfg,
+                                 rng=system.cfg.rng(f"dl:{board.name}"))
+        self.transport = TransportManager(board, self.kernel, self.datalink,
+                                          system.cfg)
+        self.services = NodeServices(self.kernel)
+        self.node: Optional[NodeHost] = None
+
+    @property
+    def name(self) -> str:
+        return self.board.name
+
+    @property
+    def sim(self) -> Simulator:
+        return self.board.sim
+
+    def spawn(self, generator, name: Optional[str] = None):
+        """Start a CAB kernel thread (off-loaded application task, §5)."""
+        return self.kernel.spawn(generator, name=name)
+
+    def create_mailbox(self, name: str, capacity: Optional[int] = None):
+        return self.transport.create_mailbox(name, capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CabStack {self.name}>"
+
+
+class NectarSystem:
+    """A simulated Nectar installation."""
+
+    def __init__(self, cfg: Optional[NectarConfig] = None,
+                 trace: bool = False) -> None:
+        self.cfg = cfg or default_config()
+        self.sim = Simulator()
+        self.tracer = Tracer(self.sim, enabled=trace)
+        self.router = Router()
+        self.hubs: dict[str, Hub] = {}
+        self.cabs: dict[str, CabStack] = {}
+        self.nodes: dict[str, NodeHost] = {}
+        self._ports_used: dict[str, set[int]] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_hub(self, name: Optional[str] = None) -> Hub:
+        hub_name = name or f"hub{next(_auto_names)}"
+        if hub_name in self.hubs:
+            raise TopologyError(f"duplicate hub name {hub_name!r}")
+        hub = Hub(self.sim, hub_name, self.cfg.hub, self.cfg.fiber,
+                  tracer=self.tracer)
+        self.hubs[hub_name] = hub
+        self._ports_used[hub_name] = set()
+        self.router.add_hub(hub)
+        return hub
+
+    def _claim_port(self, hub: Hub, port: Optional[int]) -> int:
+        used = self._ports_used[hub.name]
+        if port is None:
+            for candidate in range(hub.cfg.num_ports):
+                if candidate not in used:
+                    port = candidate
+                    break
+            else:
+                raise TopologyError(f"{hub.name} has no free ports")
+        if port in used:
+            raise TopologyError(f"{hub.name}.p{port} already in use")
+        used.add(port)
+        return port
+
+    def add_cab(self, name: str, hub: Hub,
+                port: Optional[int] = None) -> CabStack:
+        """Create a CAB, wire it to ``hub``, build its software stack."""
+        if name in self.cabs:
+            raise TopologyError(f"duplicate CAB name {name!r}")
+        if hub.name not in self.hubs:
+            raise TopologyError(f"hub {hub.name} not part of this system")
+        port = self._claim_port(hub, port)
+        board = CabBoard(self.sim, name, self.cfg.cab, self.cfg.fiber)
+        wire_cab_to_hub(self.sim, board, hub, port,
+                        rng=self.cfg.rng(f"fiber:{name}"))
+        self.router.add_cab(name, hub, port)
+        stack = CabStack(self, board)
+        self.cabs[name] = stack
+        return stack
+
+    def connect_hubs(self, hub_a: Hub, hub_b: Hub,
+                     port_a: Optional[int] = None,
+                     port_b: Optional[int] = None) -> tuple[int, int]:
+        """Wire an inter-HUB fiber pair; returns the ports used."""
+        port_a = self._claim_port(hub_a, port_a)
+        port_b = self._claim_port(hub_b, port_b)
+        wire_hub_to_hub(self.sim, hub_a, port_a, hub_b, port_b,
+                        rng=self.cfg.rng(f"link:{hub_a.name}:{hub_b.name}"))
+        self.router.add_link(hub_a, port_a, hub_b, port_b)
+        return port_a, port_b
+
+    def add_node(self, name: str, cab: CabStack,
+                 machine_type: str = "sun") -> NodeHost:
+        """Attach a node (Sun, Warp, …) to a CAB over VME."""
+        if name in self.nodes:
+            raise TopologyError(f"duplicate node name {name!r}")
+        node = NodeHost(self.sim, name, self.cfg.node,
+                        machine_type=machine_type)
+        node.attach_cab(cab.board)
+        cab.node = node
+        cab.services.attach_node(node)
+        self.nodes[name] = node
+        return node
+
+    def finalize(self) -> "NectarSystem":
+        """Validate the wiring; call once construction is complete."""
+        if not self.hubs:
+            raise TopologyError("system has no HUBs")
+        if not self.cabs:
+            raise TopologyError("system has no CABs")
+        self._finalized = True
+        return self
+
+    # ------------------------------------------------------------------
+    # access & execution
+    # ------------------------------------------------------------------
+
+    def cab(self, name: str) -> CabStack:
+        try:
+            return self.cabs[name]
+        except KeyError:
+            raise TopologyError(f"no CAB named {name!r}") from None
+
+    def hub(self, name: str) -> Hub:
+        try:
+            return self.hubs[name]
+        except KeyError:
+            raise TopologyError(f"no hub named {name!r}") from None
+
+    def node(self, name: str) -> NodeHost:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TopologyError(f"no node named {name!r}") from None
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Advance the simulation; returns the clock."""
+        return self.sim.run(until=until)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def aggregate_port_count(self) -> int:
+        return sum(hub.cfg.num_ports for hub in self.hubs.values())
+
+    def report(self) -> dict:
+        """A whole-system counters snapshot (hubs, CABs, transports)."""
+        from ..hardware.bom import system_bill_of_materials
+        return {
+            "hubs": {name: dict(hub.counters)
+                     for name, hub in self.hubs.items()},
+            "cabs": {name: dict(stack.board.counters)
+                     for name, stack in self.cabs.items()},
+            "transport": {name: dict(stack.transport.counters)
+                          for name, stack in self.cabs.items()},
+            "datalink": {name: dict(stack.datalink.counters)
+                         for name, stack in self.cabs.items()},
+            "bill_of_materials": system_bill_of_materials(
+                len(self.hubs), len(self.cabs)),
+            "simulated_ns": self.sim.now,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<NectarSystem hubs={len(self.hubs)} cabs={len(self.cabs)} "
+                f"nodes={len(self.nodes)}>")

@@ -1,0 +1,19 @@
+"""Transport protocols: datagram, byte-stream, request-response (§6.2.2)."""
+
+from .base import TransportManager, next_message_id, slice_data
+from .bytestream import ByteStreamProtocol, StreamConnection
+from .datagram import DatagramProtocol
+from .reassembly import PartialMessage, ReassemblyBuffer
+from .reqresp import RequestResponseProtocol
+
+__all__ = [
+    "ByteStreamProtocol",
+    "DatagramProtocol",
+    "PartialMessage",
+    "ReassemblyBuffer",
+    "RequestResponseProtocol",
+    "StreamConnection",
+    "TransportManager",
+    "next_message_id",
+    "slice_data",
+]

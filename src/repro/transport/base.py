@@ -1,0 +1,232 @@
+"""Transport-layer core: the per-CAB manager and shared machinery (§6.2.2).
+
+The transport layer moves *messages* between *mailboxes* on different
+CABs: fragmentation into ≤1 KB packets, reassembly, flow control and
+retransmission live here.  Three protocols are provided, exactly the
+paper's set: datagram (unreliable, lowest overhead), byte-stream
+(reliable, sliding window) and request-response (client-server RPC).
+
+Receive path: the datalink invokes :meth:`TransportManager.classify` as
+its upcall — it must name the destination mailbox before the input queue
+overflows — and, after the inbound DMA, hands the packet over; transport
+header processing is charged as interrupt-context CPU (§6.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..config import NectarConfig
+from ..errors import TransportError
+from ..hardware.frames import Packet, Payload
+from ..kernel.mailbox import Mailbox, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..datalink.protocol import Datalink
+    from ..kernel.threads import CabKernel
+
+_message_ids = count(1)
+
+
+def next_message_id() -> int:
+    return next(_message_ids)
+
+
+def slice_data(data: Optional[bytes], size: int,
+               max_fragment: int) -> list[tuple[int, Optional[bytes]]]:
+    """Split a message body into fragment (size, bytes) pairs."""
+    if size < 0:
+        raise TransportError(f"negative message size {size}")
+    if size == 0:
+        return [(0, b"" if data is not None else None)]
+    fragments = []
+    offset = 0
+    while offset < size:
+        length = min(max_fragment, size - offset)
+        chunk = data[offset:offset + length] if data is not None else None
+        fragments.append((length, chunk))
+        offset += length
+    return fragments
+
+
+class TransportManager:
+    """Owns the mailbox namespace and the three protocols of one CAB."""
+
+    def __init__(self, cab, kernel: "CabKernel", datalink: "Datalink",
+                 cfg: NectarConfig) -> None:
+        from .bytestream import ByteStreamProtocol
+        from .datagram import DatagramProtocol
+        from .reqresp import RequestResponseProtocol
+        self.cab = cab
+        self.kernel = kernel
+        self.datalink = datalink
+        self.cfg = cfg
+        self.sim = cab.sim
+        self.mailboxes: dict[str, Mailbox] = {}
+        self.counters: dict[str, int] = defaultdict(int)
+        self.datagram = DatagramProtocol(self)
+        self.stream = ByteStreamProtocol(self)
+        self.rpc = RequestResponseProtocol(self)
+        self._protocols = {
+            proto: handler
+            for handler in (self.datagram, self.stream, self.rpc)
+            for proto in handler.protos
+        }
+        datalink.classify = self.classify
+
+    def register_protocol(self, handler) -> None:
+        """Install an additional protocol handler.
+
+        ``handler`` needs ``protos`` (wire tags), ``accept(header)`` and
+        ``handle(packet)`` (a generator).  Used by the network-driver
+        interface and the Internet-protocol suite (§6.2.2's planned
+        IP/TCP/VMTP experiments).
+        """
+        for proto in handler.protos:
+            if proto in self._protocols:
+                raise TransportError(
+                    f"{self.cab.name}: protocol {proto!r} already bound")
+            self._protocols[proto] = handler
+
+    # ------------------------------------------------------------------
+    # mailboxes
+    # ------------------------------------------------------------------
+
+    def create_mailbox(self, name: str,
+                       capacity: Optional[int] = None) -> Mailbox:
+        if name in self.mailboxes:
+            raise TransportError(f"{self.cab.name}: mailbox {name!r} exists")
+        mailbox = Mailbox(self.kernel, name, capacity_messages=capacity)
+        self.mailboxes[name] = mailbox
+        return mailbox
+
+    def mailbox(self, name: str) -> Mailbox:
+        try:
+            return self.mailboxes[name]
+        except KeyError:
+            raise TransportError(
+                f"{self.cab.name}: no mailbox {name!r}") from None
+
+    def has_mailbox(self, name: str) -> bool:
+        return name in self.mailboxes
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def classify(self, packet: Packet) -> Optional[Callable[[Packet], None]]:
+        """The transport upcall: map a packet to a consumer, or reject.
+
+        Runs synchronously in the datalink receive interrupt; must be
+        cheap (its CPU cost is folded into the datalink's handler charge).
+        """
+        header = packet.payload.header
+        proto = header.get("proto")
+        handler = self._protocols.get(proto)
+        if handler is None:
+            self.counters["unknown_proto"] += 1
+            return None
+        if not handler.accept(header):
+            self.counters["refused_packets"] += 1
+            return None
+        return self._on_packet
+
+    def _on_packet(self, packet: Packet) -> None:
+        """Post-DMA continuation: spawn the header-processing handler."""
+        self.sim.process(self._handle_packet(packet),
+                         name=f"{self.cab.name}.tp#{packet.packet_id}")
+
+    def _handle_packet(self, packet: Packet):
+        # Still the same interrupt context the datalink dispatched from, so
+        # no second interrupt-overhead charge (§6.2.1).
+        t_cfg = self.cfg.transport
+        yield from self.cab.cpu.execute(t_cfg.receive_packet_cpu_ns)
+        payload = packet.payload
+        checksum_cost = self.cab.checksum.cost_ns(payload.size)
+        if checksum_cost:
+            yield from self.cab.cpu.execute(checksum_cost)
+        if not self.cab.checksum.verify(payload):
+            self.counters["checksum_drops"] += 1
+            return
+        handler = self._protocols[payload.header["proto"]]
+        yield from handler.handle(packet)
+
+    # ------------------------------------------------------------------
+    # shared send machinery
+    # ------------------------------------------------------------------
+
+    def transmit_payload(self, dst_cab: str, payload: Payload,
+                         mode: str = "auto"):
+        """Move one payload toward ``dst_cab`` (generator).
+
+        Tasks co-resident on this CAB exchange messages through CAB
+        memory directly — a mailbox operation, no network traffic.
+        Everything else goes through the datalink.
+        """
+        if dst_cab == self.cab.name:
+            yield from self.kernel.compute(self.cfg.kernel.mailbox_op_ns)
+            packet = Packet(self.cab.name, payload=payload,
+                            header_bytes=self.cfg.transport.header_bytes)
+            self.counters["local_deliveries"] += 1
+            self._on_packet(packet)
+            return
+        yield from self.datalink.send(dst_cab, payload, mode=mode)
+
+    def send_fragments(self, dst_cab: str, base_header: dict[str, Any],
+                       data: Optional[bytes], size: int,
+                       mode: str = "auto",
+                       extra_cpu_ns: int = 0):
+        """Fragment and transmit one message (generator, thread context).
+
+        ``base_header`` is copied into every fragment with ``frag``/
+        ``nfrags``/``total_size`` filled in.  Returns the message id used.
+
+        Packet-switched messages are fragmented at the 1 KB input-queue
+        limit; circuit switching carries the whole message as one packet
+        ("circuit switching must be used for larger packets", §4.2.3) —
+        the CABs "select an optimal packet size" (§6.2.2).
+        """
+        t_cfg = self.cfg.transport
+        msg_id = base_header.get("msg_id") or next_message_id()
+        if mode == "auto" and not self.datalink.packet_fits(size):
+            mode = "circuit"
+        max_fragment = size if (mode == "circuit" and size > 0) \
+            else t_cfg.max_payload_bytes
+        fragments = slice_data(data, size, max_fragment)
+        nfrags = len(fragments)
+        for index, (frag_size, chunk) in enumerate(fragments):
+            header = dict(base_header)
+            header.update(msg_id=msg_id, frag=index, nfrags=nfrags,
+                          total_size=size, src=self.cab.name)
+            payload = Payload(frag_size, data=chunk, header=header)
+            yield from self.kernel.compute(
+                t_cfg.send_packet_cpu_ns + extra_cpu_ns)
+            yield from self.transmit_payload(dst_cab, payload, mode=mode)
+            self.counters["fragments_sent"] += 1
+        return msg_id
+
+    def deliver_message(self, message: Message, mailbox_name: str,
+                        reliable: bool):
+        """Deposit a completed message (generator).
+
+        Unreliable protocols drop on a full mailbox; reliable ones block,
+        which backpressures the sender through the ack window.
+        """
+        mailbox = self.mailboxes.get(mailbox_name)
+        if mailbox is None:
+            self.counters["drops_no_mailbox"] += 1
+            return False
+        yield from self.kernel.compute(self.cfg.kernel.mailbox_op_ns)
+        if reliable:
+            yield mailbox.put(message)
+            delivered = True
+        else:
+            delivered = mailbox.try_put(message)
+            if not delivered:
+                self.counters["drops_mailbox_full"] += 1
+        if delivered:
+            self.counters["messages_delivered"] += 1
+            yield from self.kernel.wakeup_cost()
+        return delivered

@@ -1,0 +1,72 @@
+"""Fragment reassembly shared by datagram and request-response (§6.2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..hardware.frames import Payload
+
+
+@dataclass
+class PartialMessage:
+    """Fragments collected so far for one (source, msg_id)."""
+
+    nfrags: int
+    total_size: int
+    started_at: int
+    fragments: dict[int, Payload] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.fragments) == self.nfrags
+
+    def add(self, index: int, payload: Payload) -> None:
+        # Duplicate fragments (retransmission overlap) overwrite silently.
+        self.fragments[index] = payload
+
+    def assemble(self) -> tuple[int, Optional[bytes]]:
+        """Total size plus the joined bytes (None for synthetic payloads)."""
+        chunks = []
+        for index in range(self.nfrags):
+            payload = self.fragments[index]
+            if payload.data is None:
+                return self.total_size, None
+            chunks.append(payload.data)
+        return self.total_size, b"".join(chunks)
+
+
+class ReassemblyBuffer:
+    """Keyed partial-message store with age-based garbage collection."""
+
+    def __init__(self, timeout_ns: int) -> None:
+        self.timeout_ns = timeout_ns
+        self._partials: dict[Any, PartialMessage] = {}
+        self.expired = 0
+
+    def add_fragment(self, key: Any, payload: Payload,
+                     now: int) -> Optional[PartialMessage]:
+        """Record a fragment; returns the partial if now complete."""
+        header = payload.header
+        partial = self._partials.get(key)
+        if partial is None:
+            partial = PartialMessage(nfrags=header["nfrags"],
+                                     total_size=header["total_size"],
+                                     started_at=now)
+            self._partials[key] = partial
+        partial.add(header["frag"], payload)
+        self._collect(now)
+        if partial.complete:
+            del self._partials[key]
+            return partial
+        return None
+
+    def _collect(self, now: int) -> None:
+        stale = [key for key, partial in self._partials.items()
+                 if now - partial.started_at > self.timeout_ns]
+        for key in stale:
+            del self._partials[key]
+            self.expired += 1
+
+    def __len__(self) -> int:
+        return len(self._partials)

@@ -1,0 +1,198 @@
+"""The request-response protocol (§6.2.2).
+
+"The request-response protocol supports client-server interactions such
+as remote procedure calls."  Requests are retransmitted until a response
+(or the retry budget) arrives; servers keep a response cache so duplicate
+requests are answered without re-executing — at-most-once execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..errors import TransportError
+from ..kernel.mailbox import Message
+from ..sim import Event
+from .reassembly import ReassemblyBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.frames import Packet
+    from .base import TransportManager
+
+_request_ids = count(1)
+
+#: How long incomplete request/response reassemblies are kept.
+REASSEMBLY_TIMEOUT_NS = 500_000_000
+#: Server-side response cache entries kept (duplicate suppression).
+RESPONSE_CACHE_LIMIT = 256
+
+_IN_PROGRESS = object()
+
+
+@dataclass
+class _PendingRequest:
+    """Client-side state of one outstanding request."""
+
+    request_id: int
+    response: Event
+    retransmits: int = 0
+
+
+class RequestResponseProtocol:
+    """RPC-style exchange between a client thread and a server mailbox."""
+
+    protos = ("rr_req", "rr_rsp")
+
+    def __init__(self, manager: "TransportManager") -> None:
+        self.manager = manager
+        self._pending: dict[int, _PendingRequest] = {}
+        self.reassembly = ReassemblyBuffer(REASSEMBLY_TIMEOUT_NS)
+        #: (client, request_id) -> cached response (or in-progress marker).
+        self._served: dict[tuple[str, int], Any] = {}
+        self.requests_sent = 0
+        self.responses_sent = 0
+        self.duplicate_requests = 0
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+
+    def request(self, dst_cab: str, service_mailbox: str,
+                data: Optional[bytes] = None, size: Optional[int] = None,
+                timeout_ns: Optional[int] = None,
+                max_retries: Optional[int] = None):
+        """Issue a request and wait for the response (generator).
+
+        Returns the response :class:`~repro.kernel.mailbox.Message`.
+        Raises :class:`TransportError` after the retry budget.
+        """
+        cfg = self.manager.cfg.transport
+        timeout_ns = timeout_ns or cfg.retransmit_timeout_ns
+        max_retries = cfg.max_retransmits if max_retries is None \
+            else max_retries
+        request_id = next(_request_ids)
+        pending = _PendingRequest(request_id, Event(self.manager.sim))
+        self._pending[request_id] = pending
+        body_size = len(data) if size is None else size
+        header = {"proto": "rr_req", "dst_mailbox": service_mailbox,
+                  "req_id": request_id}
+        try:
+            attempt = 0
+            while True:
+                attempt += 1
+                self.requests_sent += 1
+                yield from self.manager.send_fragments(
+                    dst_cab, dict(header), data, body_size,
+                    extra_cpu_ns=cfg.reliability_cpu_ns)
+                deadline = self.manager.sim.timeout(timeout_ns)
+                result = yield self.manager.sim.any_of(
+                    [pending.response, deadline])
+                yield from self.manager.kernel.compute(
+                    self.manager.cfg.kernel.wakeup_ns)
+                if pending.response in result:
+                    return pending.response.value
+                pending.retransmits += 1
+                if attempt > max_retries:
+                    raise TransportError(
+                        f"request {request_id} to {dst_cab}/"
+                        f"{service_mailbox}: no response after "
+                        f"{attempt} attempts")
+        finally:
+            self._pending.pop(request_id, None)
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+
+    def respond(self, request: Message,
+                data: Optional[bytes] = None, size: Optional[int] = None):
+        """Send the response for a request message (generator).
+
+        The response is cached so that a retransmitted duplicate of the
+        same request is answered without re-running the server.
+        """
+        cfg = self.manager.cfg.transport
+        meta = request.meta
+        client = meta["reply_to"]
+        request_id = meta["req_id"]
+        body_size = len(data) if size is None else size
+        self._cache_response(client, request_id, (data, body_size))
+        header = {"proto": "rr_rsp", "req_id": request_id}
+        self.responses_sent += 1
+        yield from self.manager.send_fragments(
+            client, header, data, body_size,
+            extra_cpu_ns=cfg.reliability_cpu_ns)
+
+    def _cache_response(self, client: str, request_id: int,
+                        response: Any) -> None:
+        self._served[(client, request_id)] = response
+        while len(self._served) > RESPONSE_CACHE_LIMIT:
+            self._served.pop(next(iter(self._served)))
+
+    # ------------------------------------------------------------------
+    # packet handling
+    # ------------------------------------------------------------------
+
+    def accept(self, header: dict[str, Any]) -> bool:
+        if header["proto"] == "rr_rsp":
+            return True
+        return self.manager.has_mailbox(header.get("dst_mailbox", ""))
+
+    def handle(self, packet: "Packet"):
+        header = packet.payload.header
+        if header["proto"] == "rr_req":
+            yield from self._handle_request(packet)
+        else:
+            yield from self._handle_response(packet)
+
+    def _handle_request(self, packet: "Packet"):
+        payload = packet.payload
+        header = payload.header
+        client = header["src"]
+        request_id = header["req_id"]
+        key = (client, request_id)
+        cached = self._served.get(key)
+        if cached is _IN_PROGRESS:
+            self.duplicate_requests += 1
+            return
+        if cached is not None:
+            # At-most-once: replay the cached response, do not re-execute.
+            self.duplicate_requests += 1
+            data, body_size = cached
+            replay = {"proto": "rr_rsp", "req_id": request_id}
+            yield from self.manager.send_fragments(
+                client, replay, data, body_size)
+            return
+        partial = self.reassembly.add_fragment(
+            ("req",) + key, payload, self.manager.sim.now)
+        if partial is None:
+            return
+        self._served[key] = _IN_PROGRESS
+        total_size, data = partial.assemble()
+        message = Message(src=client, dst_mailbox=header["dst_mailbox"],
+                          size=total_size, data=data, kind="request",
+                          meta={"req_id": request_id, "reply_to": client})
+        yield from self.manager.deliver_message(
+            message, header["dst_mailbox"], reliable=True)
+
+    def _handle_response(self, packet: "Packet"):
+        payload = packet.payload
+        header = payload.header
+        request_id = header["req_id"]
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        partial = self.reassembly.add_fragment(
+            ("rsp", header["src"], request_id), payload,
+            self.manager.sim.now)
+        if partial is None:
+            return
+        total_size, data = partial.assemble()
+        message = Message(src=header["src"], dst_mailbox="",
+                          size=total_size, data=data, kind="response",
+                          meta={"req_id": request_id})
+        if not pending.response.triggered:
+            pending.response.succeed(message)
+        yield from self.manager.kernel.wakeup_cost()

@@ -1,0 +1,121 @@
+"""Integration tests for the §7 application workloads."""
+
+import pytest
+
+from repro.apps import (Feature, ProductionSystemApp, StencilArrayApp,
+                        VisionApplication)
+from repro.apps.vision import pack_query
+from repro.topology import single_hub_system
+
+
+class TestVision:
+    def make(self, **kwargs):
+        system = single_hub_system(8)
+        app = VisionApplication(
+            system, system.cab("cab0"), system.cab("cab1"),
+            [system.cab("cab2"), system.cab("cab3")],
+            frame_bytes=kwargs.pop("frame_bytes", 32_000),
+            features_per_frame=kwargs.pop("features_per_frame", 8),
+            queries_per_frame=kwargs.pop("queries_per_frame", 2))
+        return system, app
+
+    def test_pipeline_completes(self):
+        system, app = self.make()
+        app.run(num_frames=3, until=3_000_000_000)
+        assert app.finished
+        assert app.frames_received == 3
+
+    def test_frames_carry_full_bandwidth(self):
+        system, app = self.make()
+        app.run(num_frames=3, until=3_000_000_000)
+        assert app.frame_meter.bytes_total == 3 * 32_000
+        assert app.frame_meter.mbytes_per_second > 5
+
+    def test_queries_answered(self):
+        system, app = self.make()
+        app.run(num_frames=3, until=3_000_000_000)
+        assert app.query_latency.count == 6
+        served = sum(shard.queries_served for shard in app.shards)
+        assert served == 6
+
+    def test_features_inserted_into_shards(self):
+        system, app = self.make()
+        app.run(num_frames=3, until=3_000_000_000)
+        inserted = sum(shard.inserts for shard in app.shards)
+        assert inserted == 3 * 8
+
+    def test_feature_pack_roundtrip(self):
+        feature = Feature(42, 100, 200, 3)
+        [back] = Feature.unpack_all(feature.pack())
+        assert back == feature
+
+    def test_query_latency_low(self):
+        """§7: the DB needs low-latency communication — RPC in ~100 µs."""
+        system, app = self.make()
+        app.run(num_frames=3, until=3_000_000_000)
+        assert app.query_latency.mean_us < 300
+
+
+class TestProductionSystem:
+    def test_tokens_propagate_and_terminate(self):
+        system = single_hub_system(6)
+        app = ProductionSystemApp(system,
+                                  [system.cab(f"cab{i}") for i in range(4)],
+                                  max_depth=3)
+        app.run(seed_count=20, until=2_000_000_000)
+        assert app.tokens_processed == app.tokens_emitted
+        assert app.tokens_processed >= 20
+
+    def test_fine_grained_latency(self):
+        """§7: low latency supports the fine-grained token traffic."""
+        system = single_hub_system(6)
+        app = ProductionSystemApp(system,
+                                  [system.cab(f"cab{i}") for i in range(4)],
+                                  max_depth=2)
+        app.run(seed_count=10, until=2_000_000_000)
+        assert app.hop_latency.count > 0
+        assert app.hop_latency.mean_us < 200
+
+    def test_deterministic_under_seed(self):
+        def run_once():
+            system = single_hub_system(6)
+            app = ProductionSystemApp(
+                system, [system.cab(f"cab{i}") for i in range(4)],
+                max_depth=3)
+            app.run(seed_count=10, until=2_000_000_000)
+            return app.tokens_processed
+        assert run_once() == run_once()
+
+    def test_needs_two_workers(self):
+        system = single_hub_system(2)
+        with pytest.raises(ValueError):
+            ProductionSystemApp(system, [system.cab("cab0")])
+
+
+class TestStencil:
+    def test_iterations_complete(self):
+        system = single_hub_system(4)
+        app = StencilArrayApp(system,
+                              [system.cab(f"cab{i}") for i in range(4)],
+                              halo_bytes=1024)
+        app.run(iterations=4, until=3_000_000_000)
+        assert app.completed == 4
+        assert app.iteration_times.count == 4
+
+    def test_compute_bound_scaling(self):
+        """More compute per iteration → longer iterations."""
+        def run_with(compute_ns):
+            system = single_hub_system(4)
+            app = StencilArrayApp(
+                system, [system.cab(f"cab{i}") for i in range(4)],
+                halo_bytes=1024, compute_ns_per_iteration=compute_ns)
+            app.run(iterations=3, until=10_000_000_000)
+            return app.iteration_times.mean
+        fast = run_with(100_000)
+        slow = run_with(5_000_000)
+        assert slow > fast
+
+    def test_needs_two_workers(self):
+        system = single_hub_system(2)
+        with pytest.raises(ValueError):
+            StencilArrayApp(system, [system.cab("cab0")])

@@ -1,0 +1,80 @@
+"""Tests for the bill of materials (§4.1, §5.2, Fig 6) and the system
+report."""
+
+import pytest
+
+from repro.hardware.bom import (CAB_BOARD, HUB_BACKPLANE,
+                                HUB_BACKPLANE_DEBUG_CHIPS, HUB_IO_BOARD,
+                                PORTS_PER_IO_BOARD,
+                                hub_bill_of_materials,
+                                system_bill_of_materials)
+from repro.topology import single_hub_system
+
+
+class TestPaperNumbers:
+    def test_io_board_matches_section_4_1(self):
+        assert HUB_IO_BOARD.chip_count == 305
+        assert HUB_IO_BOARD.power_watts == 110.0
+        assert HUB_IO_BOARD.area_sq_inches == 15 * 17
+
+    def test_backplane_matches_section_4_1(self):
+        assert HUB_BACKPLANE.breakdown["crossbar"] == 92
+        assert HUB_BACKPLANE.breakdown["controller"] == 132
+        assert HUB_BACKPLANE.power_watts == 70.0
+        assert HUB_BACKPLANE_DEBUG_CHIPS == {"crossbar": 47,
+                                             "controller": 20}
+
+    def test_cab_matches_section_5_2(self):
+        assert CAB_BOARD.power_watts == 100.0
+        assert abs(CAB_BOARD.chip_count - 360) <= 5     # "nearly 360"
+        assert CAB_BOARD.share("data_memory_and_dma_ports") == \
+            pytest.approx(0.25, abs=0.01)
+        assert CAB_BOARD.share("vme_interface") == \
+            pytest.approx(0.15, abs=0.01)
+        assert CAB_BOARD.share("cpu_and_program_memory") == \
+            pytest.approx(0.15, abs=0.01)
+        assert CAB_BOARD.share("io_ports") == pytest.approx(0.13, abs=0.01)
+        # "The remaining 120 or so chips..."
+        rest = CAB_BOARD.breakdown[
+            "dma_controller_registers_checksum_protection_clocks"]
+        assert abs(rest - 120) <= 10
+
+    def test_breakdowns_sum_to_totals(self):
+        for board in (HUB_IO_BOARD, HUB_BACKPLANE, CAB_BOARD):
+            assert sum(board.breakdown.values()) == board.chip_count
+
+    def test_sixteen_port_hub_uses_two_boards(self):
+        bom = hub_bill_of_materials(16)
+        assert bom["io_boards"] == 2                      # Figure 6
+        assert bom["chips"] == 2 * 305 + 224
+        assert bom["power_watts"] == 2 * 110 + 70
+
+    def test_vlsi_hub_scales_boards(self):
+        bom = hub_bill_of_materials(128)
+        assert bom["io_boards"] == 128 // PORTS_PER_IO_BOARD
+
+    def test_prototype_system_bom(self):
+        """The early-1989 prototype: 2 HUBs and 4 CABs (§3.2)."""
+        bom = system_bill_of_materials(num_hubs=2, num_cabs=4)
+        assert bom["chips"] == 2 * (2 * 305 + 224) + 4 * 360
+        assert bom["power_watts"] == 2 * 290 + 4 * 100
+
+
+class TestSystemReport:
+    def test_report_shape_and_counters(self):
+        system = single_hub_system(2)
+        a, b = system.cab("cab0"), system.cab("cab1")
+        inbox = b.create_mailbox("inbox")
+
+        def rx():
+            yield from b.kernel.wait(inbox.get())
+        b.spawn(rx())
+        a.spawn(a.transport.datagram.send("cab1", "inbox", size=64))
+        system.run(until=10_000_000)
+        report = system.report()
+        assert report["hubs"]["hub0"]["packets_forwarded"] == 1
+        assert report["cabs"]["cab1"]["packets_received"] == 1
+        assert report["transport"]["cab1"]["messages_delivered"] == 1
+        assert report["bill_of_materials"]["hubs"] == 1
+        assert report["bill_of_materials"]["cabs"] == 2
+        assert report["simulated_ns"] == 10_000_000

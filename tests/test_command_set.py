@@ -1,0 +1,81 @@
+"""The HUB command-set inventory (§4.2) as enforced documentation.
+
+The prototype documents "38 user commands and 14 supervisor commands";
+DESIGN.md §5 records that encoding variants with identical semantics are
+collapsed to 24 + 14 operations covering every category the paper names.
+These tests pin those counts and the category coverage so the claim in
+the docs can never silently drift from the code.
+"""
+
+from repro.hardware.hub_commands import (CONTROLLER_OPS, OPEN_OPS,
+                                         REPLY_OPS, RETRY_OPS,
+                                         SUPERVISOR_OPS, TEST_OPS,
+                                         CommandOp, has_retry, is_open,
+                                         is_supervisor, is_test_open,
+                                         needs_controller, wants_reply)
+
+
+def user_ops():
+    return [op for op in CommandOp if not op.name.startswith("SV_")]
+
+
+class TestInventory:
+    def test_user_command_count_matches_design_md(self):
+        assert len(user_ops()) == 24
+
+    def test_supervisor_command_count_matches_paper(self):
+        """§4.2: "14 supervisor commands"."""
+        assert len(SUPERVISOR_OPS) == 14
+
+    def test_every_paper_category_is_covered(self):
+        """§4.2: connections, locks, status, and flow control."""
+        names = {op.name for op in user_ops()}
+        assert any(name.startswith("OPEN") for name in names)
+        assert any(name.startswith("CLOSE") for name in names)
+        assert any(name.startswith("LOCK") for name in names)
+        assert any(name.startswith("STATUS") for name in names)
+        assert {"SET_READY", "CLEAR_READY"} <= names
+
+    def test_supervisor_categories(self):
+        """§4.2: supervisor commands are for testing and reconfiguration."""
+        names = {op.name for op in SUPERVISOR_OPS}
+        assert {"SV_SELFTEST", "SV_LOOPBACK_ON", "SV_READ_COUNTERS"} \
+            <= names                                       # testing
+        assert {"SV_RESET_HUB", "SV_ENABLE_PORT", "SV_DISABLE_PORT"} \
+            <= names                                       # reconfiguration
+
+
+class TestClassifierConsistency:
+    def test_controller_ops_are_opens_and_locks(self):
+        for op in CONTROLLER_OPS:
+            assert is_open(op) or "LOCK" in op.name
+
+    def test_test_ops_subset_of_opens(self):
+        assert TEST_OPS <= OPEN_OPS
+
+    def test_retry_ops_subset_of_controller_ops(self):
+        assert RETRY_OPS <= CONTROLLER_OPS
+
+    def test_every_status_command_replies(self):
+        for op in CommandOp:
+            if op.name.startswith("STATUS"):
+                assert wants_reply(op)
+
+    def test_predicates_agree_with_sets(self):
+        for op in CommandOp:
+            assert is_supervisor(op) == (op in SUPERVISOR_OPS)
+            assert needs_controller(op) == (op in CONTROLLER_OPS)
+            assert is_open(op) == (op in OPEN_OPS)
+            assert is_test_open(op) == (op in TEST_OPS)
+            assert has_retry(op) == (op in RETRY_OPS)
+            assert wants_reply(op) == (op in REPLY_OPS)
+
+    def test_supervisor_ops_never_need_controller_serialisation(self):
+        for op in SUPERVISOR_OPS:
+            assert not needs_controller(op)
+
+    def test_closes_are_port_local(self):
+        """§4.1: 'localized' commands execute inside the I/O port."""
+        for op in (CommandOp.CLOSE, CommandOp.CLOSE_INPUT,
+                   CommandOp.CLOSE_ALL):
+            assert not needs_controller(op)

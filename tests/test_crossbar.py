@@ -1,0 +1,113 @@
+"""Unit and property tests for the HUB crossbar (Figure 5 semantics)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.crossbar import Crossbar
+
+
+class TestConnect:
+    def test_basic_connection(self):
+        xbar = Crossbar(16)
+        assert xbar.connect(2, 7)
+        assert xbar.owner_of(7) == 2
+        assert xbar.outputs_of(2) == {7}
+
+    def test_output_exclusive(self):
+        """Only one input queue can drive an output register (§4.1)."""
+        xbar = Crossbar(16)
+        assert xbar.connect(2, 7)
+        assert not xbar.connect(3, 7)
+        assert xbar.owner_of(7) == 2
+        assert xbar.connects_refused == 1
+
+    def test_multicast_fanout(self):
+        """An input queue can be connected to multiple outputs (§4.1)."""
+        xbar = Crossbar(16)
+        for out in (1, 5, 9):
+            assert xbar.connect(0, out)
+        assert xbar.outputs_of(0) == {1, 5, 9}
+        assert xbar.connection_count == 3
+
+    def test_reconnect_same_pair_idempotent(self):
+        xbar = Crossbar(16)
+        assert xbar.connect(2, 7)
+        assert xbar.connect(2, 7)
+        assert xbar.connection_count == 1
+
+    def test_self_connection_allowed(self):
+        # Loopback through the crossbar is physically possible.
+        xbar = Crossbar(16)
+        assert xbar.connect(4, 4)
+
+    def test_port_range_checked(self):
+        xbar = Crossbar(16)
+        with pytest.raises(IndexError):
+            xbar.connect(0, 16)
+        with pytest.raises(IndexError):
+            xbar.connect(-1, 0)
+
+    def test_too_small_crossbar(self):
+        with pytest.raises(ValueError):
+            Crossbar(1)
+
+
+class TestDisconnect:
+    def test_disconnect_returns_owner(self):
+        xbar = Crossbar(16)
+        xbar.connect(2, 7)
+        assert xbar.disconnect(7) == 2
+        assert xbar.owner_of(7) is None
+
+    def test_disconnect_free_output(self):
+        xbar = Crossbar(16)
+        assert xbar.disconnect(3) is None
+
+    def test_disconnect_input_clears_fanout(self):
+        xbar = Crossbar(16)
+        for out in (1, 5, 9):
+            xbar.connect(0, out)
+        assert xbar.disconnect_input(0) == [1, 5, 9]
+        assert xbar.connection_count == 0
+
+    def test_reset(self):
+        xbar = Crossbar(16)
+        xbar.connect(0, 1)
+        xbar.connect(2, 3)
+        xbar.reset()
+        assert xbar.connection_count == 0
+
+
+class TestStatusTable:
+    def test_snapshot(self):
+        xbar = Crossbar(4)
+        xbar.connect(0, 1)
+        assert xbar.snapshot() == {0: None, 1: 0, 2: None, 3: None}
+
+    def test_output_busy(self):
+        xbar = Crossbar(4)
+        assert not xbar.output_busy(1)
+        xbar.connect(0, 1)
+        assert xbar.output_busy(1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["connect", "disconnect",
+                                           "disconnect_input"]),
+                          st.integers(0, 15), st.integers(0, 15)),
+                max_size=60))
+def test_crossbar_invariants_hold_under_any_sequence(operations):
+    """Property: out-owner and in-targets stay mutually consistent, and
+    every output register has at most one driver, whatever happens."""
+    xbar = Crossbar(16)
+    for op, a, b in operations:
+        if op == "connect":
+            xbar.connect(a, b)
+        elif op == "disconnect":
+            xbar.disconnect(b)
+        else:
+            xbar.disconnect_input(a)
+        xbar.check_invariants()
+        owners = [xbar.owner_of(out) for out in range(16)]
+        assert xbar.connection_count == sum(o is not None for o in owners)

@@ -1,0 +1,24 @@
+"""Every example script must run clean (they are part of the API docs)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{script.name} printed nothing"
+
+
+def test_all_examples_discovered():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "vision_pipeline", "production_system",
+            "hypercube_ipsc", "multi_hub_mesh", "os_coprocessor",
+            "internet_protocols", "task_mapping", "hub_monitoring"} <= names

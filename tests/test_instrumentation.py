@@ -1,0 +1,102 @@
+"""Tests for the HUB instrumentation board (§4.1)."""
+
+import pytest
+
+from repro.hardware.instrumentation import InstrumentationBoard
+from repro.topology import single_hub_system
+
+
+def run_traffic(system, sender, receiver, messages=3, size=500):
+    inbox = receiver.create_mailbox("inbox")
+    got = []
+
+    def rx():
+        for _ in range(messages):
+            message = yield from receiver.kernel.wait(inbox.get())
+            got.append(message)
+    receiver.spawn(rx())
+
+    def tx():
+        for index in range(messages):
+            yield from sender.transport.datagram.send(
+                receiver.name, "inbox", size=size)
+    sender.spawn(tx())
+    system.run(until=60_000_000)
+    assert len(got) == messages
+
+
+class TestInstrumentationBoard:
+    def test_counts_connections(self):
+        system = single_hub_system(3)
+        board = InstrumentationBoard(system.hub("hub0"))
+        run_traffic(system, system.cab("cab0"), system.cab("cab1"))
+        assert board.connects_seen == 3
+        assert board.disconnects_seen == 3
+        assert board.commands_seen == 3
+
+    def test_setup_latency_is_cycle_scale(self):
+        system = single_hub_system(3)
+        board = InstrumentationBoard(system.hub("hub0"))
+        run_traffic(system, system.cab("cab0"), system.cab("cab1"))
+        assert board.setup_latency.count == 3
+        # A granted open is one controller cycle after submission.
+        assert board.setup_latency.maximum <= 10 * 70
+
+    def test_hold_times_cover_packet_transit(self):
+        system = single_hub_system(3)
+        board = InstrumentationBoard(system.hub("hub0"))
+        run_traffic(system, system.cab("cab0"), system.cab("cab1"),
+                    messages=1, size=500)
+        assert board.hold_time.count == 1
+        # The connection stays open while ~520 wire bytes flow (80 ns/B).
+        assert board.hold_time.minimum > 500 * 80 / 2
+
+    def test_port_bytes_attributed_to_receiver_port(self):
+        system = single_hub_system(3)
+        board = InstrumentationBoard(system.hub("hub0"))
+        run_traffic(system, system.cab("cab0"), system.cab("cab1"),
+                    messages=2, size=400)
+        # cab1 sits on port 1: all data left through it.
+        assert board.port_bytes[1] > 2 * 400
+        assert board.port_packets[1] == 2
+        busiest = board.busiest_ports(1)
+        assert busiest[0][0] == 1
+
+    def test_utilization_bounded_and_positive(self):
+        system = single_hub_system(3)
+        board = InstrumentationBoard(system.hub("hub0"))
+        run_traffic(system, system.cab("cab0"), system.cab("cab1"))
+        utilization = board.port_utilization(1)
+        assert 0.0 < utilization <= 1.0
+
+    def test_report_structure(self):
+        system = single_hub_system(3)
+        board = InstrumentationBoard(system.hub("hub0"))
+        run_traffic(system, system.cab("cab0"), system.cab("cab1"))
+        report = board.report()
+        assert report["hub"] == "hub0"
+        assert report["connects"] == 3
+        assert report["setup_latency"]["count"] == 3
+        assert 1 in report["utilization"]
+
+    def test_probes_do_not_change_timing(self):
+        """Monitoring hardware must not slow the datapath."""
+        def measure(with_board):
+            system = single_hub_system(3)
+            if with_board:
+                InstrumentationBoard(system.hub("hub0"))
+            inbox = system.cab("cab1").create_mailbox("inbox")
+            state = {}
+
+            def rx():
+                yield from system.cab("cab1").kernel.wait(inbox.get())
+                state["t"] = system.now
+
+            def tx():
+                yield from system.cab("cab0").transport.datagram.send(
+                    "cab1", "inbox", size=64)
+            system.cab("cab1").spawn(rx())
+            system.cab("cab0").spawn(tx())
+            system.run(until=60_000_000)
+            return state["t"]
+        assert measure(True) == measure(False)

@@ -1,0 +1,169 @@
+"""Tests for the automated task mapper (§6.3 future work)."""
+
+import pytest
+
+from repro.errors import NectarineError
+from repro.mapper import (TaskGraph, annealing_map, communication_cost,
+                          deploy, greedy_traffic_map, round_robin_map,
+                          run_workload)
+from repro.nectarine import NectarineRuntime
+from repro.topology import linear_system, single_hub_system
+
+
+def clustered_graph(clusters=3, tasks_per_cluster=3):
+    """Heavy traffic inside clusters, light traffic between them."""
+    graph = TaskGraph()
+    for cluster in range(clusters):
+        for index in range(tasks_per_cluster):
+            graph.add_task(f"t{cluster}_{index}", compute_ns=50_000)
+    for cluster in range(clusters):
+        members = [f"t{cluster}_{i}" for i in range(tasks_per_cluster)]
+        for a, b in zip(members, members[1:]):
+            graph.add_channel(a, b, message_bytes=4096, rate=10.0)
+    for cluster in range(clusters - 1):
+        graph.add_channel(f"t{cluster}_0", f"t{cluster + 1}_0",
+                          message_bytes=64, rate=0.1)
+    return graph
+
+
+class TestGraph:
+    def test_duplicate_task_rejected(self):
+        graph = TaskGraph()
+        graph.add_task("a")
+        with pytest.raises(NectarineError):
+            graph.add_task("a")
+
+    def test_channel_endpoints_checked(self):
+        graph = TaskGraph()
+        graph.add_task("a")
+        with pytest.raises(NectarineError):
+            graph.add_channel("a", "ghost")
+
+    def test_self_channel_rejected(self):
+        graph = TaskGraph()
+        graph.add_task("a")
+        graph.add_task("b")
+        with pytest.raises(NectarineError):
+            graph.add_channel("a", "a")
+
+    def test_traffic_weights(self):
+        graph = TaskGraph()
+        graph.add_task("a")
+        graph.add_task("b")
+        graph.add_channel("a", "b", message_bytes=100, rate=2.0)
+        assert graph.total_traffic == 200.0
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(NectarineError):
+            TaskGraph().validate()
+
+
+class TestPlacements:
+    def make_cabs(self, system, count):
+        return [system.cab(f"cab{i}") for i in range(count)]
+
+    def test_round_robin_covers_all_tasks(self):
+        system = single_hub_system(4)
+        graph = clustered_graph()
+        placement = round_robin_map(graph, self.make_cabs(system, 4))
+        assert set(placement.assignment) == set(graph.tasks)
+
+    def test_greedy_colocates_heavy_pairs(self):
+        system = single_hub_system(4)
+        graph = clustered_graph()
+        placement = greedy_traffic_map(graph, self.make_cabs(system, 4),
+                                       system)
+        # Each cluster's chain should land on one CAB.
+        for cluster in range(3):
+            cabs = {placement.cab_of(f"t{cluster}_{i}").name
+                    for i in range(3)}
+            assert len(cabs) == 1
+
+    def test_greedy_beats_round_robin_on_comm_cost(self):
+        system = single_hub_system(4)
+        graph = clustered_graph()
+        cabs = self.make_cabs(system, 4)
+        rr = communication_cost(graph, round_robin_map(graph, cabs),
+                                system)
+        greedy = communication_cost(
+            graph, greedy_traffic_map(graph, cabs, system), system)
+        assert greedy < rr
+
+    def test_annealing_never_worse_than_greedy_start(self):
+        system = linear_system(3, cabs_per_hub=2)
+        graph = clustered_graph(clusters=4, tasks_per_cluster=2)
+        cabs = [system.cab(f"cab{h}_{i}")
+                for h in range(3) for i in range(2)]
+        greedy = greedy_traffic_map(graph, cabs, system)
+
+        def objective(placement):
+            return (communication_cost(graph, placement, system)
+                    + graph.total_traffic
+                    * (placement.imbalance(graph) - 1.0))
+        annealed = annealing_map(graph, cabs, system, iterations=300,
+                                 start=greedy)
+        assert objective(annealed) <= objective(greedy) + 1e-9
+
+    def test_machine_type_constraint_respected(self):
+        system = single_hub_system(3, with_nodes=True)
+        system.node("node0").machine_type = "warp"
+        graph = TaskGraph()
+        graph.add_task("vision", machine_type="warp")
+        graph.add_task("planner")
+        graph.add_channel("vision", "planner", message_bytes=1024)
+        cabs = self.make_cabs(system, 3)
+        for mapper in (round_robin_map,
+                       lambda g, c: greedy_traffic_map(g, c, system)):
+            placement = mapper(graph, cabs)
+            assert placement.cab_of("vision").name == "cab0"
+
+    def test_unsatisfiable_constraint_raises(self):
+        system = single_hub_system(2, with_nodes=True)
+        graph = TaskGraph()
+        graph.add_task("gpu_task", machine_type="cray")
+        with pytest.raises(NectarineError):
+            round_robin_map(graph, self.make_cabs(system, 2))
+
+    def test_imbalance_metric(self):
+        system = single_hub_system(2)
+        graph = TaskGraph()
+        graph.add_task("a", compute_ns=100)
+        graph.add_task("b", compute_ns=100)
+        placement = round_robin_map(graph, self.make_cabs(system, 2))
+        assert placement.imbalance(graph) == pytest.approx(1.0)
+
+
+class TestDeploy:
+    def test_deploy_creates_tasks_on_assigned_cabs(self):
+        system = single_hub_system(4)
+        graph = clustered_graph()
+        cabs = [system.cab(f"cab{i}") for i in range(4)]
+        placement = greedy_traffic_map(graph, cabs, system)
+        runtime = NectarineRuntime(system)
+        tasks = deploy(graph, placement, runtime)
+        assert set(tasks) == set(graph.tasks)
+        for name, task in tasks.items():
+            assert task.cab is placement.cab_of(name)
+
+    def test_run_workload_finishes_and_times(self):
+        system = single_hub_system(4)
+        graph = clustered_graph(clusters=2, tasks_per_cluster=2)
+        cabs = [system.cab(f"cab{i}") for i in range(4)]
+        placement = greedy_traffic_map(graph, cabs, system)
+        makespan = run_workload(system, graph, placement, rounds=3,
+                                until=60_000_000_000)
+        assert makespan > 0
+
+    def test_better_mapping_runs_faster(self):
+        """The point of §6.3's automation: placement changes real time."""
+        def measure(mapper_name):
+            system = linear_system(3, cabs_per_hub=1)
+            graph = clustered_graph(clusters=3, tasks_per_cluster=3)
+            cabs = [system.cab(f"cab{h}_0") for h in range(3)]
+            if mapper_name == "rr":
+                placement = round_robin_map(graph, cabs)
+            else:
+                placement = greedy_traffic_map(graph, cabs, system)
+            return run_workload(system, graph, placement, rounds=3,
+                                until=120_000_000_000)
+        assert measure("greedy") < measure("rr")

@@ -1,0 +1,149 @@
+"""End-to-end checks of the §2.3 performance goals (the paper's headline
+numbers), run as tests so regressions in the cost model are caught."""
+
+import pytest
+
+from repro.nodeiface import SharedMemoryInterface
+from repro.sim import units
+from repro.topology import linear_system, single_hub_system
+
+
+def cab_to_cab_latency(size=32):
+    system = single_hub_system(2)
+    a, b = system.cab("cab0"), system.cab("cab1")
+    inbox = b.create_mailbox("inbox")
+    result = {}
+
+    def receiver():
+        yield from b.kernel.wait(inbox.get())
+        result["t"] = system.now
+
+    def sender():
+        result["t0"] = system.now
+        yield from a.transport.datagram.send("cab1", "inbox", size=size)
+    b.spawn(receiver())
+    a.spawn(sender())
+    system.run(until=10_000_000)
+    return result["t"] - result["t0"]
+
+
+class TestLatencyGoals:
+    def test_cab_to_cab_under_30us(self):
+        """§2.3: process-to-process on two CABs under 30 µs."""
+        assert units.to_us(cab_to_cab_latency()) < 30
+
+    def test_node_to_node_under_100us(self):
+        """§2.3: process-to-process on two nodes under 100 µs."""
+        system = single_hub_system(2, with_nodes=True)
+        a, b = system.cab("cab0"), system.cab("cab1")
+        shm_a, shm_b = SharedMemoryInterface(a), SharedMemoryInterface(b)
+        inbox = b.create_mailbox("inbox")
+        result = {}
+
+        def receiver():
+            yield from shm_b.receive(inbox)
+            result["t"] = system.now
+
+        def sender():
+            result["t0"] = system.now
+            yield from shm_a.send("cab1", "inbox", size=32)
+        system.node("node1").run(receiver(), "rx")
+        system.node("node0").run(sender(), "tx")
+        system.run(until=100_000_000)
+        assert units.to_us(result["t"] - result["t0"]) < 100
+
+    def test_multihop_adds_little(self):
+        """§4 goal 3: multi-HUB latency not significantly higher —
+        each extra HUB adds about a microsecond, not tens."""
+        def latency(hubs):
+            system = linear_system(hubs, cabs_per_hub=2)
+            src = system.cab("cab0_0")
+            dst = system.cab(f"cab{hubs - 1}_1")
+            inbox = dst.create_mailbox("inbox")
+            result = {}
+
+            def receiver():
+                yield from dst.kernel.wait(inbox.get())
+                result["t"] = system.now
+
+            def sender():
+                result["t0"] = system.now
+                yield from src.transport.datagram.send(
+                    dst.name, "inbox", size=32)
+            dst.spawn(receiver())
+            src.spawn(sender())
+            system.run(until=100_000_000)
+            return result["t"] - result["t0"]
+
+        one = latency(1)
+        four = latency(4)
+        per_hop_ns = (four - one) / 3
+        assert per_hop_ns < 3_000            # ~1 µs per extra HUB
+        assert four < 1.5 * one              # "not significantly higher"
+
+    def test_large_transfer_saturates_fiber(self):
+        """Abstract: pipelined transfers reach the 100 Mb/s line rate."""
+        system = single_hub_system(2)
+        a, b = system.cab("cab0"), system.cab("cab1")
+        inbox = b.create_mailbox("inbox")
+        result = {}
+
+        def receiver():
+            message = yield from b.kernel.wait(inbox.get())
+            result["t"] = system.now
+
+        def sender():
+            result["t0"] = system.now
+            yield from a.transport.datagram.send("cab1", "inbox",
+                                                 size=500_000)
+        b.spawn(receiver())
+        a.spawn(sender())
+        system.run(until=1_000_000_000)
+        mbps = units.throughput_mbps(500_000, result["t"] - result["t0"])
+        assert mbps > 90.0
+
+
+class TestNodeHost:
+    def test_cost_helpers_charge_cpu(self):
+        system = single_hub_system(2, with_nodes=True)
+        node = system.node("node0")
+
+        def body():
+            yield from node.syscall_cost()
+            yield from node.interrupt_cost()
+            yield from node.copy(10_000)
+        node.run(body())
+        system.run(until=10_000_000)
+        expected = (system.cfg.node.syscall_ns + system.cfg.node.interrupt_ns
+                    + units.transfer_time(10_000,
+                                          system.cfg.node.copy_bytes_per_ns))
+        assert node.busy_ns == expected
+        assert node.syscalls == 1
+        assert node.interrupts == 1
+
+    def test_node_cpu_serialises(self):
+        system = single_hub_system(2, with_nodes=True)
+        node = system.node("node0")
+        finish = []
+
+        def worker(tag):
+            yield from node.compute(1_000)
+            finish.append((tag, system.now))
+        node.run(worker("a"))
+        node.run(worker("b"))
+        system.run(until=10_000_000)
+        assert finish == [("a", 1_000), ("b", 2_000)]
+
+    def test_vme_requires_cab(self, sim):
+        from repro.config import NodeConfig
+        from repro.errors import NodeError
+        from repro.hardware.node import NodeHost
+        node = NodeHost(sim, "lonely", NodeConfig())
+        with pytest.raises(NodeError):
+            next(node.vme_write(100))
+
+    def test_double_cab_attach_rejected(self):
+        from repro.errors import NodeError
+        system = single_hub_system(2, with_nodes=True)
+        with pytest.raises(NodeError):
+            system.node("node0").attach_cab(system.cab("cab1").board)

@@ -1,0 +1,138 @@
+"""Unit tests for route planning and multicast trees (§4.2, Figure 7)."""
+
+import pytest
+
+from repro.errors import RouteError, TopologyError
+from repro.hardware.hub_commands import CommandOp
+from repro.topology import (figure7_system, linear_system, mesh_system,
+                            single_hub_system)
+
+
+class TestUnicastRoutes:
+    def test_single_hub_route_is_one_hop(self):
+        system = single_hub_system(4)
+        route = system.router.route("cab0", "cab3")
+        assert route.hub_count == 1
+        assert route.hops[0].hub.name == "hub0"
+        assert route.hops[0].out_port == 3
+
+    def test_route_to_self_rejected(self):
+        system = single_hub_system(2)
+        with pytest.raises(RouteError):
+            system.router.route("cab0", "cab0")
+
+    def test_unknown_cab_rejected(self):
+        system = single_hub_system(2)
+        with pytest.raises(RouteError):
+            system.router.route("cab0", "ghost")
+
+    def test_linear_route_hop_count(self):
+        system = linear_system(4, cabs_per_hub=1)
+        route = system.router.route("cab0_0", "cab3_0")
+        assert route.hub_count == 4
+        assert [hop.hub.name for hop in route.hops] == \
+            ["hub0", "hub1", "hub2", "hub3"]
+
+    def test_bfs_shortest_path_in_mesh(self):
+        system = mesh_system(3, 3, cabs_per_hub=1)
+        route = system.router.route("cab_0_0_0", "cab_2_2_0")
+        # Manhattan distance 4 → 5 hubs on the path.
+        assert route.hub_count == 5
+
+    def test_no_path_raises(self):
+        from repro.system.builder import NectarSystem
+        system = NectarSystem()
+        hub_a = system.add_hub("a")
+        hub_b = system.add_hub("b")
+        system.add_cab("c0", hub_a)
+        system.add_cab("c1", hub_b)
+        with pytest.raises(RouteError):
+            system.router.route("c0", "c1")
+
+    def test_route_str(self):
+        system = single_hub_system(2)
+        text = str(system.router.route("cab0", "cab1"))
+        assert "cab0" in text and "hub0.p1" in text
+
+
+class TestFigure7:
+    def test_circuit_route_cab3_to_cab1_matches_paper(self):
+        """§4.2.1: open HUB2 P8, then open HUB1 P8."""
+        system = figure7_system()
+        route = system.router.route("CAB3", "CAB1")
+        assert [(hop.hub.name, hop.out_port) for hop in route.hops] == \
+            [("HUB2", 8), ("HUB1", 8)]
+
+    def test_multicast_tree_matches_paper(self):
+        """§4.2.2: open HUB1 P6 / HUB4 P5 (leaf) / HUB4 P3 / HUB3 P4
+        (leaf) — exactly this order."""
+        system = figure7_system()
+        edges = system.router.multicast_edges("CAB2", ["CAB4", "CAB5"])
+        assert [(e.hub.name, e.out_port, e.is_leaf) for e in edges] == [
+            ("HUB1", 6, False),
+            ("HUB4", 5, True),
+            ("HUB4", 3, False),
+            ("HUB3", 4, True),
+        ]
+
+    def test_multicast_leaf_destinations(self):
+        system = figure7_system()
+        edges = system.router.multicast_edges("CAB2", ["CAB4", "CAB5"])
+        leaves = [e.dst for e in edges if e.is_leaf]
+        assert leaves == ["CAB4", "CAB5"]
+
+    def test_hub2_p8_links_to_hub1_p3(self):
+        """§4.2.3: 'port P8 of HUB2 ... is connected to port P3 of HUB1'."""
+        system = figure7_system()
+        assert system.router.neighbours("HUB2")["HUB1"] == (8, 3)
+
+
+class TestMulticastTrees:
+    def test_single_hub_multicast_all_leaves(self):
+        system = single_hub_system(5)
+        edges = system.router.multicast_edges("cab0",
+                                              ["cab1", "cab2", "cab3"])
+        assert all(edge.is_leaf for edge in edges)
+        assert [edge.out_port for edge in edges] == [1, 2, 3]
+
+    def test_shared_prefix_merged(self):
+        system = linear_system(3, cabs_per_hub=2)
+        edges = system.router.multicast_edges(
+            "cab0_0", ["cab2_0", "cab2_1"])
+        # One path down the chain, then two leaf edges at hub2.
+        non_leaf = [e for e in edges if not e.is_leaf]
+        leaf = [e for e in edges if e.is_leaf]
+        assert len(non_leaf) == 2     # hub0->hub1, hub1->hub2
+        assert len(leaf) == 2
+
+    def test_duplicate_destinations_rejected(self):
+        system = single_hub_system(3)
+        with pytest.raises(RouteError):
+            system.router.multicast_edges("cab0", ["cab1", "cab1"])
+
+    def test_empty_destinations_rejected(self):
+        system = single_hub_system(3)
+        with pytest.raises(RouteError):
+            system.router.multicast_edges("cab0", [])
+
+    def test_multicast_to_self_rejected(self):
+        system = single_hub_system(3)
+        with pytest.raises(RouteError):
+            system.router.multicast_edges("cab0", ["cab0", "cab1"])
+
+
+class TestRouterConstruction:
+    def test_duplicate_hub_rejected(self):
+        system = single_hub_system(2)
+        with pytest.raises(TopologyError):
+            system.router.add_hub(system.hub("hub0"))
+
+    def test_duplicate_cab_rejected(self):
+        system = single_hub_system(2)
+        with pytest.raises(TopologyError):
+            system.router.add_cab("cab0", system.hub("hub0"), 9)
+
+    def test_names_listing(self):
+        system = single_hub_system(3)
+        assert system.router.cab_names == ["cab0", "cab1", "cab2"]
+        assert system.router.hub_names == ["hub0"]

@@ -1,0 +1,203 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import (AllOf, AnyOf, Event, SimulationError, Simulator,
+                       Timeout)
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(250)
+        sim.run()
+        assert sim.now == 250
+
+    def test_run_until_advances_exactly(self, sim):
+        sim.run(until=1000)
+        assert sim.now == 1000
+
+    def test_run_until_processes_events_at_boundary(self, sim):
+        fired = []
+        sim.call_at(1000, lambda: fired.append(sim.now))
+        sim.run(until=1000)
+        assert fired == [1000]
+
+    def test_run_until_does_not_process_later_events(self, sim):
+        fired = []
+        sim.call_at(1001, lambda: fired.append(sim.now))
+        sim.run(until=1000)
+        assert fired == []
+        assert sim.now == 1000
+
+    def test_run_until_past_raises(self, sim):
+        sim.run(until=100)
+        with pytest.raises(ValueError):
+            sim.run(until=50)
+
+    def test_peek_empty(self, sim):
+        assert sim.peek() is None
+
+    def test_peek_returns_next_timestamp(self, sim):
+        sim.timeout(500)
+        sim.timeout(100)
+        assert sim.peek() == 0 or sim.peek() == 100  # timeouts enqueue at t+delay
+        sim.run()
+        assert sim.now == 500
+
+    def test_step_on_empty_agenda_raises(self, sim):
+        with pytest.raises(RuntimeError):
+            sim.step()
+
+
+class TestEventOrdering:
+    def test_same_time_fifo(self, sim):
+        order = []
+        for tag in range(5):
+            sim.call_at(100, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_time_ordering(self, sim):
+        order = []
+        sim.call_at(300, lambda: order.append(300))
+        sim.call_at(100, lambda: order.append(100))
+        sim.call_at(200, lambda: order.append(200))
+        sim.run()
+        assert order == [100, 200, 300]
+
+    def test_call_in_relative(self, sim):
+        seen = []
+        sim.call_in(50, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [50]
+
+    def test_call_at_past_raises(self, sim):
+        sim.run(until=10)
+        with pytest.raises(ValueError):
+            sim.call_at(5, lambda: None)
+
+
+class TestEvents:
+    def test_succeed_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        sim.run()
+        assert event.processed
+        assert event.ok
+        assert event.value == 42
+
+    def test_double_trigger_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_callback_after_processing_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        assert seen == ["x"]
+
+    def test_remove_callback(self, sim):
+        event = sim.event()
+        seen = []
+        cb = lambda ev: seen.append(1)
+        event.add_callback(cb)
+        event.remove_callback(cb)
+        event.succeed()
+        sim.run()
+        assert seen == []
+
+    def test_negative_timeout_raises(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_timeout_carries_value(self, sim):
+        timeout = sim.timeout(10, value="done")
+        sim.run()
+        assert timeout.value == "done"
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, sim):
+        t1, t2 = sim.timeout(100), sim.timeout(300)
+        both = sim.all_of([t1, t2])
+        results = []
+        both.add_callback(lambda ev: results.append(sim.now))
+        sim.run()
+        assert results == [300]
+
+    def test_any_of_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(100), sim.timeout(300)
+        either = sim.any_of([t1, t2])
+        results = []
+        either.add_callback(lambda ev: results.append(sim.now))
+        sim.run()
+        assert results == [100]
+
+    def test_all_of_value_maps_events(self, sim):
+        t1 = sim.timeout(10, value="a")
+        t2 = sim.timeout(20, value="b")
+        both = sim.all_of([t1, t2])
+        sim.run()
+        assert both.value == {t1: "a", t2: "b"}
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        empty = sim.all_of([])
+        sim.run()
+        assert empty.processed
+        assert empty.value == {}
+
+    def test_failing_subevent_fails_condition(self, sim):
+        bad = sim.event()
+        good = sim.timeout(100)
+        both = sim.all_of([bad, good])
+        bad.fail(RuntimeError("boom"))
+        sim.run()
+        assert both.triggered
+        assert not both.ok
+
+    def test_condition_rejects_foreign_events(self, sim):
+        other = Simulator()
+        with pytest.raises(ValueError):
+            sim.all_of([other.timeout(1)])
+
+
+class TestRunProcess:
+    def test_returns_process_value(self, sim):
+        def body():
+            yield sim.timeout(10)
+            return "finished"
+        assert sim.run_process(body()) == "finished"
+
+    def test_raises_process_error(self, sim):
+        def body():
+            yield sim.timeout(10)
+            raise ValueError("inner")
+        proc = sim.process(body())
+        seen = []
+        proc.add_callback(lambda ev: seen.append(ev))
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, ValueError)
+
+    def test_incomplete_until_raises(self, sim):
+        def body():
+            yield sim.timeout(10_000)
+        with pytest.raises(SimulationError):
+            sim.run_process(body(), until=100)

@@ -1,0 +1,168 @@
+"""Unit tests for coroutine processes (repro.sim.process)."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, SimulationError, Simulator
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, sim):
+        def body():
+            yield sim.timeout(5)
+            yield sim.timeout(7)
+            return sim.now
+        proc = sim.process(body())
+        sim.run()
+        assert proc.value == 12
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_is_alive_transitions(self, sim):
+        def body():
+            yield sim.timeout(10)
+        proc = sim.process(body())
+        assert proc.is_alive
+        sim.run()
+        assert not proc.is_alive
+
+    def test_process_waits_on_event_value(self, sim):
+        gate = sim.event()
+
+        def body():
+            value = yield gate
+            return value
+        proc = sim.process(body())
+        sim.call_at(50, lambda: gate.succeed("opened"))
+        sim.run()
+        assert proc.value == "opened"
+
+    def test_process_waits_on_other_process(self, sim):
+        def inner():
+            yield sim.timeout(30)
+            return "inner result"
+
+        def outer():
+            result = yield sim.process(inner())
+            return result, sim.now
+        proc = sim.process(outer())
+        sim.run()
+        assert proc.value == ("inner result", 30)
+
+    def test_yield_already_processed_event_resumes(self, sim):
+        done = sim.event()
+        done.succeed("early")
+
+        def body():
+            yield sim.timeout(100)
+            value = yield done
+            return value
+        proc = sim.process(body())
+        sim.run()
+        assert proc.value == "early"
+
+    def test_yield_non_event_crashes(self, sim):
+        def body():
+            yield 42
+        proc = sim.process(body())
+        proc.add_callback(lambda ev: None)  # observe so it fails not halts
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, TypeError)
+
+    def test_failed_event_raises_inside_process(self, sim):
+        gate = sim.event()
+
+        def body():
+            try:
+                yield gate
+            except RuntimeError as error:
+                return f"caught {error}"
+        proc = sim.process(body())
+        sim.call_at(10, lambda: gate.fail(RuntimeError("kaboom")))
+        sim.run()
+        assert proc.value == "caught kaboom"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, sim):
+        def body():
+            try:
+                yield sim.timeout(1_000_000)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+        proc = sim.process(body())
+        sim.call_at(500, lambda: proc.interrupt("stop now"))
+        sim.run()
+        assert proc.value == ("interrupted", "stop now", 500)
+
+    def test_unhandled_interrupt_terminates_quietly(self, sim):
+        def body():
+            yield sim.timeout(1_000_000)
+        proc = sim.process(body())
+        sim.call_at(100, lambda: proc.interrupt("killed"))
+        sim.run()
+        assert proc.triggered
+        assert proc.value == "killed"
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def body():
+            yield sim.timeout(1)
+        proc = sim.process(body())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            proc.interrupt()
+
+    def test_interrupted_process_can_keep_running(self, sim):
+        def body():
+            try:
+                yield sim.timeout(10_000)
+            except Interrupt:
+                pass
+            yield sim.timeout(100)
+            return sim.now
+        proc = sim.process(body())
+        sim.call_at(50, lambda: proc.interrupt())
+        sim.run()
+        assert proc.value == 150
+
+    def test_interrupt_removes_stale_wait(self, sim):
+        gate = sim.event()
+
+        def body():
+            try:
+                yield gate
+            except Interrupt:
+                return "out"
+        proc = sim.process(body())
+        sim.call_at(10, lambda: proc.interrupt())
+        sim.run()
+        assert proc.value == "out"
+        # The gate can still fire without resuming the dead process.
+        gate.succeed()
+        sim.run()
+
+
+class TestCrashes:
+    def test_unobserved_crash_halts_simulation(self, sim):
+        def body():
+            yield sim.timeout(10)
+            raise ValueError("unobserved")
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_observed_crash_propagates_to_waiter(self, sim):
+        def bad():
+            yield sim.timeout(10)
+            raise ValueError("inner failure")
+
+        def outer():
+            try:
+                yield sim.process(bad())
+            except ValueError as error:
+                return f"handled: {error}"
+        proc = sim.process(outer())
+        sim.run()
+        assert proc.value == "handled: inner failure"

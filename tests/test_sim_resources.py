@@ -1,0 +1,210 @@
+"""Unit tests for Store, Container, Resource, Broadcast."""
+
+import pytest
+
+from repro.sim import Broadcast, Container, Resource, Store
+
+
+class TestStore:
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for item in "abc":
+            store.put(item)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        times = {}
+
+        def consumer():
+            item = yield store.get()
+            times["got"] = (sim.now, item)
+        sim.process(consumer())
+        sim.call_at(500, lambda: store.put("late"))
+        sim.run()
+        assert times["got"] == (500, "late")
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        done = []
+
+        def producer():
+            yield store.put("first")
+            yield store.put("second")
+            done.append(sim.now)
+        sim.process(producer())
+        sim.call_at(100, lambda: store.try_get())
+        sim.run()
+        assert done == [100]
+
+    def test_try_put_respects_capacity(self, sim):
+        store = Store(sim, capacity=1)
+        assert store.try_put("one")
+        assert not store.try_put("two")
+
+    def test_try_get_empty(self, sim):
+        store = Store(sim)
+        ok, item = store.try_get()
+        assert not ok and item is None
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_is_full(self, sim):
+        store = Store(sim, capacity=2)
+        store.try_put(1)
+        assert not store.is_full
+        store.try_put(2)
+        assert store.is_full
+
+    def test_multiple_getters_fifo(self, sim):
+        store = Store(sim)
+        winners = []
+
+        def waiter(tag):
+            item = yield store.get()
+            winners.append((tag, item))
+        sim.process(waiter("first"))
+        sim.process(waiter("second"))
+        sim.call_at(10, lambda: store.put("x"))
+        sim.call_at(20, lambda: store.put("y"))
+        sim.run()
+        assert winners == [("first", "x"), ("second", "y")]
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self, sim):
+        tank = Container(sim, capacity=100)
+        events = []
+
+        def consumer():
+            yield tank.get(60)
+            events.append(sim.now)
+        sim.process(consumer())
+        sim.call_at(10, lambda: tank.put(30))
+        sim.call_at(50, lambda: tank.put(30))
+        sim.run()
+        assert events == [50]
+        assert tank.level == 0
+
+    def test_put_blocks_when_full(self, sim):
+        tank = Container(sim, capacity=10, initial=10)
+        events = []
+
+        def producer():
+            yield tank.put(5)
+            events.append(sim.now)
+        sim.process(producer())
+        sim.call_at(77, lambda: tank.get(5))
+        sim.run()
+        assert events == [77]
+
+    def test_initial_level_validation(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10, initial=11)
+
+    def test_put_over_capacity_rejected(self, sim):
+        tank = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            tank.put(11)
+
+    def test_nonpositive_amounts_rejected(self, sim):
+        tank = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            tank.put(0)
+        with pytest.raises(ValueError):
+            tank.get(-1)
+
+    def test_free_property(self, sim):
+        tank = Container(sim, capacity=10, initial=4)
+        assert tank.free == 6
+
+
+class TestResource:
+    def test_mutual_exclusion(self, sim):
+        resource = Resource(sim)
+        trace = []
+
+        def worker(tag, hold):
+            grant = resource.acquire()
+            yield grant
+            trace.append(("in", tag, sim.now))
+            yield sim.timeout(hold)
+            trace.append(("out", tag, sim.now))
+            resource.release()
+        sim.process(worker("a", 100))
+        sim.process(worker("b", 50))
+        sim.run()
+        assert trace == [("in", "a", 0), ("out", "a", 100),
+                         ("in", "b", 100), ("out", "b", 150)]
+
+    def test_capacity_two(self, sim):
+        resource = Resource(sim, capacity=2)
+        inside = []
+
+        def worker(tag):
+            yield resource.acquire()
+            inside.append((tag, sim.now))
+            yield sim.timeout(10)
+            resource.release()
+        for tag in range(3):
+            sim.process(worker(tag))
+        sim.run()
+        assert inside == [(0, 0), (1, 0), (2, 10)]
+
+    def test_release_without_acquire_raises(self, sim):
+        resource = Resource(sim)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_available(self, sim):
+        resource = Resource(sim, capacity=3)
+        resource.acquire()
+        sim.run()
+        assert resource.available == 2
+
+
+class TestBroadcast:
+    def test_fire_wakes_all_waiters(self, sim):
+        signal = Broadcast(sim)
+        woken = []
+
+        def waiter(tag):
+            value = yield signal.wait()
+            woken.append((tag, value, sim.now))
+        for tag in range(3):
+            sim.process(waiter(tag))
+        sim.call_at(42, lambda: signal.fire("go"))
+        sim.run()
+        assert woken == [(0, "go", 42), (1, "go", 42), (2, "go", 42)]
+
+    def test_fire_returns_waiter_count(self, sim):
+        signal = Broadcast(sim)
+        signal.wait()
+        signal.wait()
+        assert signal.fire() == 2
+        assert signal.fire() == 0
+
+    def test_waiters_after_fire_need_new_fire(self, sim):
+        signal = Broadcast(sim)
+        woken = []
+
+        def waiter():
+            yield signal.wait()
+            woken.append("first")
+            yield signal.wait()
+            woken.append("second")
+        sim.process(waiter())
+        sim.call_at(10, signal.fire)
+        sim.call_at(20, signal.fire)
+        sim.run()
+        assert woken == ["first", "second"]

@@ -1,0 +1,118 @@
+"""Unit tests for system assembly and the topology builders."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.system.builder import NectarSystem
+from repro.topology import (figure7_system, linear_system, mesh_system,
+                            single_hub_system)
+
+
+class TestBuilder:
+    def test_duplicate_names_rejected(self):
+        system = NectarSystem()
+        hub = system.add_hub("h")
+        with pytest.raises(TopologyError):
+            system.add_hub("h")
+        system.add_cab("c", hub)
+        with pytest.raises(TopologyError):
+            system.add_cab("c", hub)
+
+    def test_port_auto_allocation_skips_used(self):
+        system = NectarSystem()
+        hub = system.add_hub("h")
+        system.add_cab("c0", hub, port=0)
+        c1 = system.add_cab("c1", hub)       # should take port 1
+        assert system.router.cab_location("c1")[1] == 1
+
+    def test_port_exhaustion(self):
+        system = NectarSystem()
+        hub = system.add_hub("h")
+        for index in range(16):
+            system.add_cab(f"c{index}", hub)
+        with pytest.raises(TopologyError):
+            system.add_cab("overflow", hub)
+
+    def test_port_reuse_rejected(self):
+        system = NectarSystem()
+        hub = system.add_hub("h")
+        system.add_cab("c0", hub, port=5)
+        with pytest.raises(TopologyError):
+            system.add_cab("c1", hub, port=5)
+
+    def test_finalize_requires_hardware(self):
+        with pytest.raises(TopologyError):
+            NectarSystem().finalize()
+
+    def test_node_attachment(self):
+        system = single_hub_system(2, with_nodes=True)
+        node = system.node("node0")
+        assert node.cab is system.cab("cab0").board
+        assert system.cab("cab0").node is node
+
+    def test_duplicate_node_rejected(self):
+        system = single_hub_system(2, with_nodes=True)
+        with pytest.raises(TopologyError):
+            system.add_node("node0", system.cab("cab1"))
+
+    def test_lookup_errors(self):
+        system = single_hub_system(2)
+        with pytest.raises(TopologyError):
+            system.cab("nope")
+        with pytest.raises(TopologyError):
+            system.hub("nope")
+        with pytest.raises(TopologyError):
+            system.node("nope")
+
+    def test_connect_hubs_claims_ports(self):
+        system = NectarSystem()
+        a, b = system.add_hub("a"), system.add_hub("b")
+        pa, pb = system.connect_hubs(a, b)
+        assert a.ports[pa].peer is b.ports[pb]
+        assert b.ports[pb].peer is a.ports[pa]
+
+    def test_self_link_rejected(self):
+        system = NectarSystem()
+        hub = system.add_hub("a")
+        with pytest.raises(TopologyError):
+            system.connect_hubs(hub, hub)
+
+
+class TestTopologies:
+    def test_single_hub_counts(self):
+        system = single_hub_system(6)
+        assert len(system.hubs) == 1
+        assert len(system.cabs) == 6
+
+    def test_single_hub_rejects_17_cabs(self):
+        with pytest.raises(TopologyError):
+            single_hub_system(17)
+
+    def test_linear_wiring(self):
+        system = linear_system(3, cabs_per_hub=2)
+        assert len(system.hubs) == 3
+        assert len(system.cabs) == 6
+        assert "hub1" in system.router.neighbours("hub0")
+        assert "hub2" in system.router.neighbours("hub1")
+        assert "hub2" not in system.router.neighbours("hub0")
+
+    def test_mesh_wiring(self):
+        system = mesh_system(2, 3, cabs_per_hub=1)
+        assert len(system.hubs) == 6
+        # corner has 2 neighbours, middle edge has 3
+        assert len(system.router.neighbours("hub_0_0")) == 2
+        assert len(system.router.neighbours("hub_0_1")) == 3
+
+    def test_mesh_validation(self):
+        with pytest.raises(TopologyError):
+            mesh_system(0, 3, 1)
+
+    def test_figure7_membership(self):
+        system = figure7_system()
+        assert sorted(system.hubs) == ["HUB1", "HUB2", "HUB3", "HUB4"]
+        assert sorted(system.cabs) == ["CAB1", "CAB2", "CAB3", "CAB4",
+                                       "CAB5"]
+
+    def test_aggregate_port_count(self):
+        system = mesh_system(2, 2, cabs_per_hub=1)
+        assert system.aggregate_port_count() == 4 * 16

@@ -1,0 +1,76 @@
+"""Tests for the ASCII timeline renderer (instrumentation readout)."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+from repro.stats.timeline import Timeline
+
+
+def make_records(times, source="hub0"):
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    for time in times:
+        sim.call_at(time, lambda s=source: tracer.record(s, "event"))
+    sim.run()
+    return tracer.records
+
+
+class TestTimeline:
+    def test_bucketing(self):
+        timeline = Timeline(0, 100, width=10)
+        timeline.add_all(make_records([5, 15, 15, 95]))
+        density = timeline.density("hub0")
+        assert density[0] == 1
+        assert density[1] == 2
+        assert density[9] == 1
+        assert sum(density) == 4
+
+    def test_out_of_window_ignored(self):
+        timeline = Timeline(50, 100, width=5)
+        timeline.add_all(make_records([10, 60, 200]))
+        assert sum(timeline.density("hub0")) == 1
+
+    def test_render_contains_sources_and_cells(self):
+        timeline = Timeline(0, 100, width=10)
+        timeline.add_all(make_records([5, 15], source="portA"))
+        timeline.add_all(make_records([95], source="portB"))
+        text = timeline.render()
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "portA" in text and "portB" in text
+        assert "|" in lines[1]
+
+    def test_render_empty(self):
+        timeline = Timeline(0, 100)
+        assert timeline.render() == "(no events)"
+
+    def test_shading_scales_with_density(self):
+        timeline = Timeline(0, 100, width=10)
+        timeline.add_all(make_records([1] * 9 + [55]))
+        strip = timeline.render().splitlines()[1]
+        cells = strip.split("|")[1]
+        # The 10-event bucket is shaded darker than the 1-event bucket.
+        assert cells[0] != cells[5]
+        assert cells[5] != " "
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Timeline(10, 10)
+        with pytest.raises(ValueError):
+            Timeline(0, 10, width=0)
+
+    def test_with_instrumented_system(self):
+        from repro.topology import single_hub_system
+        system = single_hub_system(2, cfg=None)
+        system.tracer.enable()
+        a, b = system.cab("cab0"), system.cab("cab1")
+        inbox = b.create_mailbox("inbox")
+
+        def rx():
+            yield from b.kernel.wait(inbox.get())
+        b.spawn(rx())
+        a.spawn(a.transport.datagram.send("cab1", "inbox", size=64))
+        system.run(until=1_000_000)
+        timeline = Timeline(0, 1_000_000, width=40)
+        timeline.add_all(system.tracer.records)
+        assert sum(timeline.density("hub0")) > 0

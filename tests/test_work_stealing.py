@@ -1,0 +1,92 @@
+"""Tests for run-time load balancing via work stealing (§7).
+
+"We are implementing a parallel production system as an example of an
+application that requires run-time load balancing."  Stealing uses a
+second reader on the worker mailbox — the multi-reader capability §6.1
+calls out.
+"""
+
+import pytest
+
+from repro.apps import ProductionSystemApp
+from repro.kernel.mailbox import Mailbox, Message
+from repro.topology import single_hub_system
+
+
+def run_app(stealing, seeds=24, until=4_000_000_000, route_skew=None,
+            max_depth=3):
+    system = single_hub_system(6)
+    app = ProductionSystemApp(
+        system, [system.cab(f"cab{i}") for i in range(4)],
+        max_depth=max_depth, work_stealing=stealing)
+    if route_skew is not None:
+        # All traffic lands on one worker; kept small enough that its
+        # mailbox (64 messages) never overflows, so datagrams survive.
+        app._route = lambda kind: app.tasks[route_skew]
+    app.run(seed_count=seeds, until=until)
+    return app
+
+
+class TestWorkStealing:
+    def test_disabled_by_default(self):
+        app = run_app(stealing=False)
+        assert app.steal_attempts == 0
+        assert app.tokens_stolen == 0
+
+    def test_conservation_with_stealing(self):
+        app = run_app(stealing=True)
+        assert app.tokens_processed == app.tokens_emitted
+
+    def test_skewed_load_gets_stolen(self):
+        """Everything routed to worker 0: others must steal to help."""
+        app = run_app(stealing=True, route_skew=0, seeds=12, max_depth=2)
+        assert app.tokens_stolen > 0
+        helpers = sum(count for index, count
+                      in app.per_worker_processed.items() if index != 0)
+        assert helpers > 0
+        assert app.tokens_processed == app.tokens_emitted
+
+    def test_stealing_helps_skewed_completion(self):
+        slow = run_app(stealing=False, route_skew=0, seeds=12, max_depth=2)
+        fast = run_app(stealing=True, route_skew=0, seeds=12, max_depth=2)
+        assert fast.tokens_processed == fast.tokens_emitted
+        assert slow.tokens_processed == slow.tokens_emitted
+        assert fast.last_activity < slow.last_activity
+
+    def test_backoff_bounds_probe_traffic(self):
+        app = run_app(stealing=True)
+        # Exponential backoff: attempts stay far below an unbounded spin.
+        assert app.steal_attempts < 10_000
+
+
+class TestMailboxCancelRead:
+    def test_cancel_pending_read(self, sim):
+        from repro.topology import single_hub_system as shs
+        stack = shs(2).cab("cab0")
+        box = Mailbox(stack.kernel, "box")
+        event = box.get()
+        assert box.cancel_read(event)
+        box.put(Message("w", "box", 1, data=b"x"))
+        stack.sim.run(until=1_000)
+        # The cancelled reader did not consume the message.
+        assert len(box) == 1
+
+    def test_cancel_completed_read_returns_false(self, sim):
+        from repro.topology import single_hub_system as shs
+        stack = shs(2).cab("cab0")
+        box = Mailbox(stack.kernel, "box")
+        box.put(Message("w", "box", 1, data=b"x"))
+        event = box.get()
+        stack.sim.run(until=1_000)
+        assert not box.cancel_read(event)
+        assert event.value.data == b"x"
+
+    def test_cancel_match_read(self, sim):
+        from repro.topology import single_hub_system as shs
+        stack = shs(2).cab("cab0")
+        box = Mailbox(stack.kernel, "box")
+        event = box.get_match(lambda m: m.kind == "never")
+        assert box.cancel_read(event)
+        box.put(Message("w", "box", 1, kind="other"))
+        stack.sim.run(until=1_000)
+        assert len(box) == 1
