@@ -1,15 +1,20 @@
-"""``python -m repro`` — a one-minute reproduction report.
+"""``python -m repro`` — command-line entry points.
 
-Runs the headline experiments on the simulator and prints paper-versus-
-measured tables.  For the complete suite use
-``pytest benchmarks/ --benchmark-only -s``.
+* ``python -m repro`` (or ``python -m repro report``) — a one-minute
+  reproduction report: the headline experiments, paper versus measured.
+* ``python -m repro workload`` — drive a topology with synthetic traffic
+  and sweep offered load to the saturation knee (see ``--help``).
+
+For the complete suite use ``pytest benchmarks/ --benchmark-only -s``.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
-from .config import default_config
+from .config import NectarConfig, default_config
+from .errors import WorkloadError
 from .hardware import CabBoard, CommandOp, Hub, HubCommand, Packet, Payload
 from .nodeiface import SharedMemoryInterface
 from .sim import Simulator, units
@@ -123,7 +128,7 @@ def multihop_report() -> ExperimentTable:
     return table
 
 
-def main(argv: list[str]) -> int:
+def run_report(_args: argparse.Namespace) -> int:
     print("Nectar reproduction — quick report "
           "(full suite: pytest benchmarks/ --benchmark-only -s)")
     for build in (hub_timing_report, latency_report, multihop_report):
@@ -131,6 +136,123 @@ def main(argv: list[str]) -> int:
         table.print()
     print()
     return 0
+
+
+def run_workload(args: argparse.Namespace) -> int:
+    from .topology import mesh_system, single_hub_system
+    from .workload import LoadSweep
+
+    cfg = NectarConfig(seed=args.seed)
+    if args.mesh:
+        try:
+            rows, cols = (int(part) for part in args.mesh.split("x", 1))
+        except ValueError:
+            print(f"error: --mesh wants ROWSxCOLS, got {args.mesh!r}",
+                  file=sys.stderr)
+            return 2
+
+        def topology():
+            return mesh_system(rows, cols, args.cabs, cfg=cfg)
+        where = f"{rows}x{cols} HUB mesh, {args.cabs} CABs each"
+    else:
+        def topology():
+            return single_hub_system(args.cabs, cfg=cfg)
+        where = f"single {cfg.hub.num_ports}-port HUB, {args.cabs} CABs"
+
+    try:
+        loads = sorted(float(part) for part in args.loads.split(","))
+    except ValueError:
+        print(f"error: --loads wants comma-separated numbers, "
+              f"got {args.loads!r}", file=sys.stderr)
+        return 2
+    pattern_kwargs = {}
+    if args.pattern == "hotspot":
+        pattern_kwargs["fraction"] = args.hotspot_fraction
+    try:
+        sweep = LoadSweep(
+            topology, loads, pattern=args.pattern, arrivals=args.arrivals,
+            mode=args.mode, message_bytes=args.message_bytes,
+            warmup_ns=units.ms(args.warmup_ms),
+            duration_ns=units.ms(args.duration_ms),
+            window_depth=args.window, pattern_kwargs=pattern_kwargs,
+            progress=(lambda line: print(f"  {line}"))
+            if args.verbose else None,
+        ).run()
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sweep.table("WL", f"{args.pattern}/{args.arrivals}/{args.mode} "
+                      f"on {where} ({args.message_bytes} B messages, "
+                      f"seed {args.seed})").print()
+    knee = sweep.knee()
+    if sweep.saturated():
+        print(f"\nknee: offered load {knee.offered_load:.2f} "
+              f"({knee.result.achieved_mbps:.1f} Mb/s achieved, "
+              f"p99 {knee.result.p_us(0.99):.1f} µs)")
+    else:
+        print(f"\nno knee within the sweep: even load "
+              f"{sweep.loads[-1]:.2f} is served at "
+              f"{sweep.points[-1].result.efficiency:.0%} efficiency — "
+              f"raise --loads to find saturation")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from .workload.arrivals import ARRIVALS
+    from .workload.patterns import PATTERNS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Nectar reproduction command-line tools.")
+    commands = parser.add_subparsers(dest="command")
+    report = commands.add_parser(
+        "report", help="one-minute paper-versus-measured report (default)")
+    report.set_defaults(func=run_report)
+
+    workload = commands.add_parser(
+        "workload",
+        help="synthetic traffic generation and saturation sweeps")
+    patterns = sorted(name for name in PATTERNS if name != "trace")
+    workload.add_argument("--pattern", choices=patterns, default="uniform",
+                          help="traffic pattern (default: uniform)")
+    workload.add_argument("--arrivals", choices=sorted(ARRIVALS),
+                          default="poisson",
+                          help="arrival process (default: poisson)")
+    workload.add_argument("--mode", choices=("open", "closed"),
+                          default="open",
+                          help="open-loop datagrams or closed-loop RPCs")
+    workload.add_argument("--cabs", type=int, default=8,
+                          help="CABs per HUB (default: 8)")
+    workload.add_argument("--mesh", metavar="RxC", default=None,
+                          help="sweep a RxC multi-HUB mesh instead of a "
+                               "single HUB (e.g. --mesh 2x2)")
+    workload.add_argument("--loads", default="0.1,0.2,0.3,0.4,0.6,0.8",
+                          help="comma-separated offered loads as a fraction "
+                               "of the 100 Mb/s fiber rate per source")
+    workload.add_argument("--message-bytes", type=int, default=512,
+                          help="payload bytes per message (default: 512)")
+    workload.add_argument("--duration-ms", type=float, default=4.0,
+                          help="measured window per load step (default: 4)")
+    workload.add_argument("--warmup-ms", type=float, default=1.0,
+                          help="warmup before measuring (default: 1)")
+    workload.add_argument("--window", type=int, default=4,
+                          help="closed-loop requests in flight per source")
+    workload.add_argument("--hotspot-fraction", type=float, default=0.25,
+                          help="traffic share aimed at the hot CAB")
+    workload.add_argument("--seed", type=int, default=1989,
+                          help="config seed; same seed, same run")
+    workload.add_argument("--verbose", action="store_true",
+                          help="print each load step as it completes")
+    workload.set_defaults(func=run_workload)
+    return parser
+
+
+def main(argv: list[str]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        return run_report(args)
+    return args.func(args)
 
 
 if __name__ == "__main__":

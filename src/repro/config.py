@@ -289,9 +289,19 @@ class NectarConfig:
         if self.cab.protection_domains < 1:
             raise ConfigError("need at least one protection domain")
 
+    def rng_stream(self, name: str = "") -> random.Random:
+        """An independent, deterministic RNG stream derived from the seed.
+
+        Every stochastic element (fault injection on one fiber, backoff
+        jitter on one CAB, one traffic source) draws from its own named
+        stream, so elements never advance each other's sequences and two
+        runs with the same seed are identical event for event.
+        """
+        return random.Random(f"{self.seed}:{name}")
+
     def rng(self, salt: str = "") -> random.Random:
-        """A deterministic RNG stream derived from the config seed."""
-        return random.Random(f"{self.seed}:{salt}")
+        """Legacy alias for :meth:`rng_stream`."""
+        return self.rng_stream(salt)
 
     def with_overrides(self, **section_overrides) -> "NectarConfig":
         """Copy this config replacing whole sections, e.g.

@@ -53,3 +53,7 @@ class NodeError(NectarError):
 
 class NectarineError(NectarError):
     """Invalid use of the Nectarine task/message API."""
+
+
+class WorkloadError(NectarError):
+    """Invalid workload specification (pattern, arrivals, sweep)."""

@@ -38,7 +38,12 @@ class Fiber:
         self.sim = sim
         self.cfg = cfg
         self.name = name
-        self.rng = rng or random.Random(0)
+        # Each link gets its own fault stream.  A shared default (the old
+        # ``random.Random(0)``) made every fiber in a system drop/corrupt
+        # in lockstep; deriving from the link name keeps unseeded fibers
+        # independent, and system builders pass seed-derived streams from
+        # :meth:`~repro.config.NectarConfig.rng_stream`.
+        self.rng = rng or random.Random(f"fiber:{name}")
         self.endpoint: Optional[FiberEndpoint] = None
         self._pending: Store = Store(sim)
         self._transmitter = sim.process(self._transmit_loop(),

@@ -9,7 +9,7 @@ connections".
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Callable, Optional
 
 from ..config import FiberConfig
 from ..errors import TopologyError
@@ -18,10 +18,23 @@ from .cab import CabBoard
 from .fiber import Fiber
 from .hub import Hub
 
+#: Maps a fiber name to its fault-injection RNG; system builders pass
+#: :meth:`~repro.config.NectarConfig.rng_stream` so every link gets an
+#: independent, seed-derived stream.
+RngFactory = Callable[[str], random.Random]
+
+
+def _link_rng(name: str, rng: Optional[random.Random],
+              rng_factory: Optional[RngFactory]) -> Optional[random.Random]:
+    if rng_factory is not None:
+        return rng_factory(name)
+    return rng
+
 
 def wire_cab_to_hub(sim: Simulator, cab: CabBoard, hub: Hub, port_index: int,
                     fiber_cfg: Optional[FiberConfig] = None,
-                    rng: Optional[random.Random] = None) -> None:
+                    rng: Optional[random.Random] = None,
+                    rng_factory: Optional[RngFactory] = None) -> None:
     """Attach ``cab`` to ``hub`` at ``port_index`` with a fiber pair."""
     cfg = fiber_cfg or hub.fiber_cfg
     port = hub.port(port_index)
@@ -29,8 +42,11 @@ def wire_cab_to_hub(sim: Simulator, cab: CabBoard, hub: Hub, port_index: int,
         raise TopologyError(f"{hub.name}.p{port_index} already wired")
     if cab.out_fiber is not None:
         raise TopologyError(f"{cab.name} already wired to a HUB")
-    uplink = Fiber(sim, cfg, f"{cab.name}->{hub.name}.p{port_index}", rng)
-    downlink = Fiber(sim, cfg, f"{hub.name}.p{port_index}->{cab.name}", rng)
+    up_name = f"{cab.name}->{hub.name}.p{port_index}"
+    down_name = f"{hub.name}.p{port_index}->{cab.name}"
+    uplink = Fiber(sim, cfg, up_name, _link_rng(up_name, rng, rng_factory))
+    downlink = Fiber(sim, cfg, down_name,
+                     _link_rng(down_name, rng, rng_factory))
     uplink.connect(port)
     downlink.connect(cab)
     cab.out_fiber = uplink
@@ -42,7 +58,8 @@ def wire_cab_to_hub(sim: Simulator, cab: CabBoard, hub: Hub, port_index: int,
 def wire_hub_to_hub(sim: Simulator, hub_a: Hub, port_a: int,
                     hub_b: Hub, port_b: int,
                     fiber_cfg: Optional[FiberConfig] = None,
-                    rng: Optional[random.Random] = None) -> None:
+                    rng: Optional[random.Random] = None,
+                    rng_factory: Optional[RngFactory] = None) -> None:
     """Connect two HUBs with a fiber pair (one port on each side)."""
     if hub_a is hub_b:
         raise TopologyError(f"cannot wire {hub_a.name} to itself")
@@ -53,10 +70,10 @@ def wire_hub_to_hub(sim: Simulator, hub_a: Hub, port_a: int,
         raise TopologyError(f"{hub_a.name}.p{port_a} already wired")
     if pb.peer is not None:
         raise TopologyError(f"{hub_b.name}.p{port_b} already wired")
-    a_to_b = Fiber(sim, cfg, f"{hub_a.name}.p{port_a}->{hub_b.name}.p{port_b}",
-                   rng)
-    b_to_a = Fiber(sim, cfg, f"{hub_b.name}.p{port_b}->{hub_a.name}.p{port_a}",
-                   rng)
+    ab_name = f"{hub_a.name}.p{port_a}->{hub_b.name}.p{port_b}"
+    ba_name = f"{hub_b.name}.p{port_b}->{hub_a.name}.p{port_a}"
+    a_to_b = Fiber(sim, cfg, ab_name, _link_rng(ab_name, rng, rng_factory))
+    b_to_a = Fiber(sim, cfg, ba_name, _link_rng(ba_name, rng, rng_factory))
     a_to_b.connect(pb)
     b_to_a.connect(pa)
     pa.out_fiber = a_to_b

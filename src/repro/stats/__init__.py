@@ -1,8 +1,9 @@
 """Measurement utilities for experiments and benchmarks."""
 
-from .recorders import LatencyRecorder, ThroughputMeter, percentile
+from .recorders import (LatencyHistogram, LatencyRecorder, ThroughputMeter,
+                        percentile)
 from .tables import ExperimentRow, ExperimentTable
 from .timeline import Timeline
 
-__all__ = ["ExperimentRow", "ExperimentTable", "LatencyRecorder",
-           "ThroughputMeter", "Timeline", "percentile"]
+__all__ = ["ExperimentRow", "ExperimentTable", "LatencyHistogram",
+           "LatencyRecorder", "ThroughputMeter", "Timeline", "percentile"]

@@ -116,7 +116,7 @@ class NectarSystem:
         port = self._claim_port(hub, port)
         board = CabBoard(self.sim, name, self.cfg.cab, self.cfg.fiber)
         wire_cab_to_hub(self.sim, board, hub, port,
-                        rng=self.cfg.rng(f"fiber:{name}"))
+                        rng_factory=self.cfg.rng_stream)
         self.router.add_cab(name, hub, port)
         stack = CabStack(self, board)
         self.cabs[name] = stack
@@ -129,7 +129,7 @@ class NectarSystem:
         port_a = self._claim_port(hub_a, port_a)
         port_b = self._claim_port(hub_b, port_b)
         wire_hub_to_hub(self.sim, hub_a, port_a, hub_b, port_b,
-                        rng=self.cfg.rng(f"link:{hub_a.name}:{hub_b.name}"))
+                        rng_factory=self.cfg.rng_stream)
         self.router.add_link(hub_a, port_a, hub_b, port_b)
         return port_a, port_b
 

@@ -1,0 +1,142 @@
+"""The load-sweep driver: step offered load, find the saturation knee.
+
+:class:`LoadSweep` builds a **fresh** system per load step (via a
+topology factory) so steps are independent and identically seeded, runs
+one :class:`~repro.workload.generators.Workload` per step, and reports
+the throughput/latency curve.  The *knee* is the highest offered load
+the system still serves efficiently — the operating point every scaling
+experiment in this repo is judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..errors import WorkloadError
+from ..stats.tables import ExperimentTable
+from .generators import Workload, WorkloadResult
+
+
+@dataclass
+class SweepPoint:
+    """One load step of a sweep."""
+
+    offered_load: float
+    result: WorkloadResult
+
+
+class SweepResult:
+    """The measured throughput/latency curve of one sweep."""
+
+    def __init__(self, points: list[SweepPoint],
+                 knee_efficiency: float = 0.9) -> None:
+        if not points:
+            raise WorkloadError("sweep produced no points")
+        self.points = sorted(points, key=lambda p: p.offered_load)
+        self.knee_efficiency = knee_efficiency
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def loads(self) -> list[float]:
+        return [p.offered_load for p in self.points]
+
+    @property
+    def achieved(self) -> list[float]:
+        return [p.result.achieved_mbps for p in self.points]
+
+    @property
+    def offered(self) -> list[float]:
+        return [p.result.offered_mbps for p in self.points]
+
+    def is_monotone(self, tolerance: float = 0.05) -> bool:
+        """Achieved throughput never drops by more than ``tolerance``
+        (relative) from one load step to the next."""
+        curve = self.achieved
+        return all(b >= a * (1.0 - tolerance)
+                   for a, b in zip(curve, curve[1:]))
+
+    def knee(self) -> SweepPoint:
+        """The highest load still served at ``knee_efficiency``.
+
+        Falls back to the first point if even the lightest load is past
+        saturation.
+        """
+        efficient = [p for p in self.points
+                     if p.result.efficiency >= self.knee_efficiency]
+        return efficient[-1] if efficient else self.points[0]
+
+    def saturated(self) -> bool:
+        """True if the sweep reached past the knee (some load missed the
+        efficiency bar), i.e. the knee is identifiable, not censored."""
+        return any(p.result.efficiency < self.knee_efficiency
+                   for p in self.points)
+
+    def table(self, experiment_id: str = "WL",
+              title: str = "offered load sweep") -> ExperimentTable:
+        table = ExperimentTable(experiment_id, title)
+        knee_point = self.knee()
+        for point in self.points:
+            result = point.result
+            marker = "  <- knee" if point is knee_point \
+                and self.saturated() else ""
+            table.add(
+                f"load {point.offered_load:.2f}",
+                f"{result.offered_mbps:7.1f} Mb/s offered",
+                f"{result.achieved_mbps:7.1f} Mb/s, "
+                f"p50 {result.p_us(0.50):8.1f} µs, "
+                f"p99 {result.p_us(0.99):9.1f} µs{marker}",
+                None)
+        return table
+
+
+class LoadSweep:
+    """Step offered load over freshly built systems.
+
+    ``topology_factory`` returns a finalized
+    :class:`~repro.system.builder.NectarSystem`; one is built per load
+    step so earlier steps cannot warm or clog later ones.  Remaining
+    keyword arguments go to :class:`Workload` verbatim.
+    """
+
+    def __init__(self, topology_factory: Callable[[], object],
+                 loads: Sequence[float],
+                 knee_efficiency: float = 0.9,
+                 progress: Optional[Callable[[str], None]] = None,
+                 **workload_kwargs) -> None:
+        if not loads:
+            raise WorkloadError("sweep needs at least one load point")
+        if sorted(loads) != list(loads):
+            raise WorkloadError("sweep loads must be ascending")
+        if "offered_load" in workload_kwargs:
+            raise WorkloadError("pass loads via the sweep, not offered_load")
+        self.topology_factory = topology_factory
+        self.loads = list(loads)
+        self.knee_efficiency = knee_efficiency
+        self.progress = progress
+        self.workload_kwargs = workload_kwargs
+
+    def run(self) -> SweepResult:
+        points = []
+        for load in self.loads:
+            system = self.topology_factory()
+            workload = Workload(system, offered_load=load,
+                                **self.workload_kwargs)
+            result = workload.run()
+            points.append(SweepPoint(load, result))
+            if self.progress is not None:
+                self.progress(
+                    f"load {load:.2f}: {result.achieved_mbps:.1f} Mb/s "
+                    f"achieved, p99 {result.p_us(0.99):.1f} µs")
+        return SweepResult(points, knee_efficiency=self.knee_efficiency)
+
+
+def saturation_sweep(topology_factory: Callable[[], object],
+                     loads: Sequence[float], **workload_kwargs) -> SweepResult:
+    """Convenience wrapper: build, sweep, return the curve."""
+    return LoadSweep(topology_factory, loads, **workload_kwargs).run()

@@ -1,0 +1,114 @@
+"""SLO accounting: latency percentiles and throughput under load.
+
+Built on :class:`~repro.stats.recorders.LatencyHistogram`.  The recorder
+keeps **two** latency distributions per workload:
+
+* ``service`` — completion minus the instant the send actually started;
+  what a naive benchmark reports.
+* ``response`` — completion minus the *intended* departure time from the
+  arrival schedule.  When an open-loop source falls behind (the transport
+  blocks under backpressure), queueing delay lands in this number instead
+  of silently vanishing — the coordinated-omission correction.  For a
+  closed-loop workload the two are identical by construction.
+
+A measurement window ``[start, end)`` excludes warmup and drain: sends
+count if their *intended* time is inside the window; deliveries count for
+throughput if their *completion* time is inside it (latency follows the
+send's window membership so late completions of in-window sends are not
+dropped from the tail).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..sim import units
+from ..stats.recorders import LatencyHistogram
+
+
+class SLORecorder:
+    """Per-workload latency and throughput accounting."""
+
+    def __init__(self, name: str = "slo",
+                 window: Optional[tuple[int, int]] = None) -> None:
+        self.name = name
+        self.window = window or (0, math.inf)
+        self.service = LatencyHistogram(f"{name}.service")
+        self.response = LatencyHistogram(f"{name}.response")
+        self.sent = 0
+        self.sent_bytes = 0
+        self.delivered = 0
+        self.delivered_bytes = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+
+    def in_window(self, t: int) -> bool:
+        return self.window[0] <= t < self.window[1]
+
+    def record_send(self, intended_ns: int, size: int) -> None:
+        """Account one intended send (offered load)."""
+        if self.in_window(intended_ns):
+            self.sent += 1
+            self.sent_bytes += size
+
+    def record_delivery(self, intended_ns: int, sent_ns: int,
+                        completed_ns: int, size: int) -> None:
+        """Account one completed message."""
+        if self.in_window(intended_ns):
+            self.service.record(max(0, completed_ns - sent_ns))
+            self.response.record(max(0, completed_ns - intended_ns))
+        if self.in_window(completed_ns):
+            self.delivered += 1
+            self.delivered_bytes += size
+
+    def record_error(self, intended_ns: int) -> None:
+        """A send the transport gave up on (after its retry budget)."""
+        if self.in_window(intended_ns):
+            self.errors += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def window_ns(self) -> float:
+        return self.window[1] - self.window[0]
+
+    @property
+    def offered_mbps(self) -> float:
+        if not math.isfinite(self.window_ns):
+            return 0.0
+        return units.throughput_mbps(self.sent_bytes, int(self.window_ns))
+
+    @property
+    def achieved_mbps(self) -> float:
+        if not math.isfinite(self.window_ns):
+            return 0.0
+        return units.throughput_mbps(self.delivered_bytes,
+                                     int(self.window_ns))
+
+    @property
+    def loss_fraction(self) -> float:
+        if not self.sent:
+            return 0.0
+        return max(0.0, 1.0 - self.delivered / self.sent)
+
+    def percentile_us(self, fraction: float, corrected: bool = True) -> float:
+        """A latency percentile in µs (coordinated-omission-corrected by
+        default)."""
+        histogram = self.response if corrected else self.service
+        if not histogram.count:
+            return 0.0
+        return units.to_us(histogram.percentile(fraction))
+
+    def summary(self) -> dict:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "errors": self.errors,
+            "offered_mbps": self.offered_mbps,
+            "achieved_mbps": self.achieved_mbps,
+            "loss_fraction": self.loss_fraction,
+            "service": self.service.summary(),
+            "response": self.response.summary(),
+        }

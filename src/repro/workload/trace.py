@@ -1,0 +1,128 @@
+"""Recorded traffic schedules: capture, persist and replay offered load.
+
+A :class:`Schedule` is a time-ordered list of ``(time_ns, src, dst,
+size)`` send events.  Schedules come from three places: synthesized from
+a pattern + arrival process (:func:`synthesize_schedule`), recorded by a
+running workload (``Workload(record=True)``), or loaded from a JSON-lines
+file captured earlier.  Replaying a schedule through
+:class:`~repro.workload.patterns.TraceReplay` reproduces the offered
+load exactly — same sources, same destinations, same intended times.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Union
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True, order=True)
+class TraceEvent:
+    """One intended send: at ``time_ns``, ``src`` emits ``size`` bytes
+    to ``dst``."""
+
+    time_ns: int
+    src: str
+    dst: str
+    size: int
+
+    def validate(self) -> None:
+        if self.time_ns < 0:
+            raise WorkloadError(f"negative event time {self.time_ns}")
+        if self.size < 0:
+            raise WorkloadError(f"negative message size {self.size}")
+        if self.src == self.dst:
+            raise WorkloadError(f"self-send at t={self.time_ns} ({self.src})")
+
+
+class Schedule:
+    """A validated, time-sorted collection of :class:`TraceEvent`."""
+
+    def __init__(self, events: Iterable[TraceEvent] = ()) -> None:
+        self.events: list[TraceEvent] = []
+        for event in events:
+            self.add(event)
+
+    def add(self, event: TraceEvent) -> None:
+        event.validate()
+        self.events.append(event)
+
+    def record(self, time_ns: int, src: str, dst: str, size: int) -> None:
+        self.add(TraceEvent(time_ns, src, dst, size))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(sorted(self.events))
+
+    @property
+    def duration_ns(self) -> int:
+        return max((e.time_ns for e in self.events), default=0)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self.events)
+
+    def endpoints(self) -> set[str]:
+        names: set[str] = set()
+        for event in self.events:
+            names.add(event.src)
+            names.add(event.dst)
+        return names
+
+    def by_source(self) -> dict[str, list[TraceEvent]]:
+        """Events grouped per source, each list time-sorted."""
+        grouped: dict[str, list[TraceEvent]] = {}
+        for event in sorted(self.events):
+            grouped.setdefault(event.src, []).append(event)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # persistence (JSON lines: one event per line, stable field order)
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        lines = [json.dumps({"t": e.time_ns, "src": e.src, "dst": e.dst,
+                             "size": e.size})
+                 for e in sorted(self.events)]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Schedule":
+        schedule = cls()
+        for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                schedule.record(raw["t"], raw["src"], raw["dst"], raw["size"])
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise WorkloadError(
+                    f"{path}:{lineno}: bad trace line: {exc}") from exc
+        return schedule
+
+
+def synthesize_schedule(pattern, make_arrival: Callable[[str], object],
+                        duration_ns: int, message_bytes: int) -> Schedule:
+    """Pre-compute the schedule a synthetic workload would emit.
+
+    ``pattern`` is a bound synthetic :class:`TrafficPattern`;
+    ``make_arrival(src)`` returns a fresh arrival process per source.
+    The result replayed through :class:`TraceReplay` offers the identical
+    load — used to record/replay experiments and to test generators.
+    """
+    if pattern.kind != "synthetic":
+        raise WorkloadError("can only synthesize from synthetic patterns")
+    schedule = Schedule()
+    for src in pattern.endpoints:
+        arrivals = make_arrival(src)
+        t = arrivals.next_gap()
+        while t < duration_ns:
+            schedule.record(t, src, pattern.destination(src), message_bytes)
+            t += arrivals.next_gap()
+    return schedule

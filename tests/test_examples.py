@@ -21,4 +21,5 @@ def test_all_examples_discovered():
     names = {path.stem for path in EXAMPLES}
     assert {"quickstart", "vision_pipeline", "production_system",
             "hypercube_ipsc", "multi_hub_mesh", "os_coprocessor",
-            "internet_protocols", "task_mapping", "hub_monitoring"} <= names
+            "internet_protocols", "task_mapping", "hub_monitoring",
+            "load_test"} <= names

@@ -134,6 +134,44 @@ class TestFaults:
         assert fiber.packets_dropped == 0
 
 
+class TestFaultStreamIndependence:
+    """Regression: every fiber used to default to ``random.Random(0)``,
+    so all links made identical drop decisions in lockstep."""
+
+    def test_default_streams_differ_per_link(self, sim):
+        cfg = FiberConfig(drop_probability=0.5)
+        first, second = Fiber(sim, cfg, "a"), Fiber(sim, cfg, "b")
+        sinks = (Sink(), Sink())
+        first.connect(sinks[0])
+        second.connect(sinks[1])
+        for _ in range(64):
+            first.send(make_packet(10))
+            second.send(make_packet(10))
+        sim.run()
+        patterns = [
+            [item.meta.get("framing_error", False)
+             for item, _size in sink.arrivals]
+            for sink in sinks]
+        assert patterns[0] != patterns[1]
+        assert 0 < first.packets_dropped < 64
+
+    def test_builder_derives_streams_from_config_seed(self):
+        from repro.config import NectarConfig
+        from repro.topology import single_hub_system
+
+        def streams(seed):
+            system = single_hub_system(2, cfg=NectarConfig(seed=seed))
+            fibers = (system.cab("cab0").board.out_fiber,
+                      system.cab("cab1").board.out_fiber)
+            return [[fiber.rng.random() for _ in range(8)]
+                    for fiber in fibers]
+
+        first = streams(7)
+        assert first[0] != first[1], "links must not share one stream"
+        assert first == streams(7), "same seed, same streams"
+        assert first != streams(8)
+
+
 class TestWiring:
     def test_unterminated_fiber_is_error(self, sim):
         fiber = Fiber(sim, FiberConfig(), "f")

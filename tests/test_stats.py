@@ -1,9 +1,11 @@
 """Unit tests for the measurement utilities (repro.stats)."""
 
+import random
+
 import pytest
 
-from repro.stats import (ExperimentRow, ExperimentTable, LatencyRecorder,
-                         ThroughputMeter, percentile)
+from repro.stats import (ExperimentRow, ExperimentTable, LatencyHistogram,
+                         LatencyRecorder, ThroughputMeter, percentile)
 
 
 class TestLatencyRecorder:
@@ -65,11 +67,110 @@ class TestThroughputMeter:
 
 class TestPercentileFunction:
     def test_single_sample(self):
+        assert percentile([42.0], 0.0) == 42.0
         assert percentile([42.0], 0.5) == 42.0
+        assert percentile([42.0], 1.0) == 42.0
 
     def test_unsorted_input(self):
         assert percentile([3.0, 1.0, 2.0], 1.0) == 3.0
         assert percentile([3.0, 1.0, 2.0], 0.0) == 1.0
+        assert percentile([5.0, 4.0, 1.0, 3.0, 2.0], 0.5) == 3.0
+
+    def test_input_not_mutated(self):
+        samples = [3.0, 1.0, 2.0]
+        percentile(samples, 0.5)
+        assert samples == [3.0, 1.0, 2.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.1)
+
+    def test_empty_recorder_percentile_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().p(0.99)
+
+
+class TestLatencyHistogram:
+    def test_exact_below_sub_bucket_threshold(self):
+        histogram = LatencyHistogram(sub_bits=6)
+        for value in range(64):
+            histogram.record(value)
+        assert histogram.percentile(0.0) == 0
+        assert histogram.percentile(0.5) == 31
+        assert histogram.percentile(1.0) == 63
+
+    def test_relative_error_bounded(self):
+        rng = random.Random(9)
+        histogram = LatencyHistogram(sub_bits=6)
+        samples = [rng.randrange(1, 50_000_000) for _ in range(5_000)]
+        for sample in samples:
+            histogram.record(sample)
+        for fraction in (0.5, 0.9, 0.99, 0.999):
+            exact = percentile(samples, fraction)
+            approx = histogram.percentile(fraction)
+            assert abs(approx - exact) / exact < 2 ** -histogram.sub_bits
+
+    def test_single_sample(self):
+        histogram = LatencyHistogram()
+        histogram.record(123_456)
+        assert histogram.percentile(0.0) == 123_456
+        assert histogram.percentile(1.0) == 123_456
+        assert histogram.mean == 123_456
+
+    def test_empty_percentile_raises(self):
+        histogram = LatencyHistogram()
+        assert histogram.mean == 0.0
+        assert histogram.summary() == {"count": 0}
+        with pytest.raises(ValueError):
+            histogram.percentile(0.5)
+
+    def test_fraction_out_of_range_raises(self):
+        histogram = LatencyHistogram()
+        histogram.record(1)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1)
+
+    def test_weighted_record(self):
+        histogram = LatencyHistogram()
+        histogram.record(10, count=99)
+        histogram.record(1_000_000)
+        assert histogram.count == 100
+        assert histogram.percentile(0.5) == 10
+        assert histogram.percentile(0.999) == 1_000_000
+
+    def test_merge(self):
+        merged, other = LatencyHistogram(), LatencyHistogram()
+        for value in (100, 200, 300):
+            merged.record(value)
+        for value in (5, 400_000):
+            other.record(value)
+        merged.merge(other)
+        assert merged.count == 5
+        assert merged.minimum == 5
+        assert merged.maximum == 400_000
+        assert merged.percentile(0.0) == 5
+
+    def test_merge_resolution_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(sub_bits=6).merge(LatencyHistogram(sub_bits=4))
+
+    def test_summary_fields(self):
+        histogram = LatencyHistogram()
+        histogram.record(10_000)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["p999_us"] == 10.0
+        assert summary["min_us"] == summary["max_us"] == 10.0
 
 
 class TestExperimentTable:
