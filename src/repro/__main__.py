@@ -4,6 +4,9 @@
   reproduction report: the headline experiments, paper versus measured.
 * ``python -m repro workload`` — drive a topology with synthetic traffic
   and sweep offered load to the saturation knee (see ``--help``).
+* ``python -m repro observe <scenario>`` — run an instrumented scenario
+  and export a Chrome/Perfetto trace plus a JSONL metrics dump
+  (``docs/OBSERVABILITY.md``).
 
 For the complete suite use ``pytest benchmarks/ --benchmark-only -s``.
 """
@@ -168,6 +171,7 @@ def run_workload(args: argparse.Namespace) -> int:
     pattern_kwargs = {}
     if args.pattern == "hotspot":
         pattern_kwargs["fraction"] = args.hotspot_fraction
+    observe_path = getattr(args, "observe", None)
     try:
         sweep = LoadSweep(
             topology, loads, pattern=args.pattern, arrivals=args.arrivals,
@@ -175,12 +179,24 @@ def run_workload(args: argparse.Namespace) -> int:
             warmup_ns=units.ms(args.warmup_ms),
             duration_ns=units.ms(args.duration_ms),
             window_depth=args.window, pattern_kwargs=pattern_kwargs,
+            observe=observe_path is not None,
             progress=(lambda line: print(f"  {line}"))
             if args.verbose else None,
         ).run()
     except WorkloadError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if observe_path is not None:
+        import json
+        with open(observe_path, "w", encoding="utf-8") as handle:
+            for point in sweep:
+                handle.write(json.dumps(
+                    {"offered_load": point.offered_load,
+                     "achieved_mbps": point.result.achieved_mbps,
+                     "series_means": point.series_means,
+                     "metrics": point.metrics},
+                    sort_keys=True) + "\n")
+        print(f"wrote per-sweep-point metrics to {observe_path}")
     sweep.table("WL", f"{args.pattern}/{args.arrivals}/{args.mode} "
                       f"on {where} ({args.message_bytes} B messages, "
                       f"seed {args.seed})").print()
@@ -195,6 +211,73 @@ def run_workload(args: argparse.Namespace) -> int:
               f"{sweep.points[-1].result.efficiency:.0%} efficiency — "
               f"raise --loads to find saturation")
     return 0
+
+
+#: The canned instrumented scenarios of ``python -m repro observe``:
+#: name -> (description, topology factory kwargs, workload kwargs).
+OBSERVE_SCENARIOS = {
+    "quickstart": "4 CABs on one HUB, uniform open-loop load 0.3, 256 B",
+    "hotspot": "8 CABs on one HUB, half the traffic aimed at cab0",
+    "mesh": "2x2 HUB mesh, 2 CABs per HUB, uniform load 0.4",
+}
+
+
+def _observe_setup(args: argparse.Namespace):
+    """Build (system, workload_kwargs, label) for one scenario."""
+    from .topology import mesh_system, single_hub_system
+
+    cfg = NectarConfig(seed=args.seed)
+    duration_ns = units.ms(args.duration_ms)
+    base = dict(pattern="uniform", arrivals="poisson", mode="open",
+                message_bytes=256, offered_load=0.3,
+                warmup_ns=units.ms(0.5), duration_ns=duration_ns)
+    if args.scenario == "quickstart":
+        system = single_hub_system(4, cfg=cfg)
+    elif args.scenario == "hotspot":
+        system = single_hub_system(8, cfg=cfg)
+        base.update(pattern="hotspot", offered_load=0.5,
+                    pattern_kwargs={"fraction": 0.5})
+    else:  # mesh
+        system = mesh_system(2, 2, 2, cfg=cfg)
+        base.update(offered_load=0.4)
+    return system, base, OBSERVE_SCENARIOS[args.scenario]
+
+
+def run_observe(args: argparse.Namespace) -> int:
+    from .workload import Workload
+
+    system, workload_kwargs, label = _observe_setup(args)
+    interval_ns = units.us(args.interval_us)
+    observatory = system.observe(interval_ns=interval_ns)
+    try:
+        result = Workload(system, **workload_kwargs).run()
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    events = observatory.export_chrome_trace(args.out)
+    metrics_path = args.metrics or _default_metrics_path(args.out)
+    rows = observatory.export_metrics_jsonl(metrics_path)
+    print(f"scenario {args.scenario}: {label}")
+    print(f"  simulated {units.to_us(system.now) / 1000.0:.2f} ms, "
+          f"achieved {result.achieved_mbps:.1f} Mb/s, "
+          f"p99 {result.p_us(0.99):.1f} µs")
+    print(f"  {args.out}: {events} trace events "
+          f"(open in https://ui.perfetto.dev)")
+    print(f"  {metrics_path}: {rows} metric rows (JSONL)")
+    busiest = sorted(
+        ((series.mean, name)
+         for name, series in observatory.series.items()
+         if name.endswith(".util")), reverse=True)[:4]
+    if busiest:
+        print("  busiest links (mean utilization):")
+        for mean, name in busiest:
+            print(f"    {name:32s} {mean:6.1%}")
+    return 0
+
+
+def _default_metrics_path(out: str) -> str:
+    stem = out[:-5] if out.endswith(".json") else out
+    return f"{stem}.metrics.jsonl"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,7 +326,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="config seed; same seed, same run")
     workload.add_argument("--verbose", action="store_true",
                           help="print each load step as it completes")
+    workload.add_argument("--observe", metavar="FILE", default=None,
+                          help="write per-sweep-point metric snapshots "
+                               "to FILE as JSONL")
     workload.set_defaults(func=run_workload)
+
+    observe = commands.add_parser(
+        "observe",
+        help="run an instrumented scenario, export trace + metrics")
+    observe.add_argument("scenario", choices=sorted(OBSERVE_SCENARIOS),
+                         help="; ".join(f"{name}: {desc}" for name, desc
+                                        in sorted(OBSERVE_SCENARIOS.items())))
+    observe.add_argument("--out", default="trace.json",
+                         help="Chrome trace_event JSON output path "
+                              "(default: trace.json)")
+    observe.add_argument("--metrics", default=None,
+                         help="JSONL metrics dump path "
+                              "(default: derived from --out)")
+    observe.add_argument("--interval-us", type=float, default=50.0,
+                         help="metric sampling period in µs (default: 50)")
+    observe.add_argument("--duration-ms", type=float, default=2.0,
+                         help="measured window in ms (default: 2)")
+    observe.add_argument("--seed", type=int, default=1989,
+                         help="config seed; same seed, same trace")
+    observe.set_defaults(func=run_observe)
     return parser
 
 

@@ -30,6 +30,8 @@ from ..hardware.hub_commands import CommandOp
 from ..sim import Resource
 from .routing import Route, Router, TreeEdge
 
+__all__ = ["Datalink"]
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.cab import CabBoard
     from ..kernel.threads import CabKernel
@@ -61,6 +63,28 @@ class Datalink:
         #: connections down.
         self._port_lock = Resource(cab.sim, capacity=1)
         cab.on_receive(self._receive_interrupt)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    #: Datalink counters exported as sampled time series: the error/
+    #: recovery signals (timeouts, retries, overflows) plus traffic
+    #: volume in both switching modes.
+    OBSERVED_COUNTERS = ("packets_sent_packet_mode",
+                         "packets_sent_circuit_mode", "packets_received",
+                         "reply_timeouts", "circuit_retries",
+                         "input_queue_overflows", "framing_errors")
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Register this CAB's datalink counters with the observer."""
+        base = self.cab.name
+        for key in self.OBSERVED_COUNTERS:
+            sampler.add_probe(
+                f"{base}.dl.{key}",
+                lambda key=key: float(self.counters.get(key, 0)),
+                description=f"cumulative datalink counter {key!r}",
+                unit="events")
 
     # ------------------------------------------------------------------
     # helpers

@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+__all__ = [
+    "NectarError", "ConfigError", "TopologyError", "RouteError",
+    "HubCommandError", "DatalinkError", "TransportError", "ChecksumError",
+    "MailboxError", "ProtectionFault", "AllocationError", "NodeError",
+    "NectarineError", "WorkloadError", "ObserveError"
+]
+
 
 class NectarError(Exception):
     """Base class for all library-specific errors."""
@@ -57,3 +64,7 @@ class NectarineError(NectarError):
 
 class WorkloadError(NectarError):
     """Invalid workload specification (pattern, arrivals, sweep)."""
+
+
+class ObserveError(NectarError):
+    """Invalid observability operation (duplicate metric, bad probe)."""

@@ -22,6 +22,8 @@ from .memory import BandwidthPool, MemoryRegion, ProtectionUnit
 from .timers import HardwareTimers
 from .vme import VmeBus
 
+__all__ = ["CabCpu", "CabBoard"]
+
 if TYPE_CHECKING:  # pragma: no cover
     from .fiber import Fiber
     from .hub_port import HubPort
@@ -124,6 +126,26 @@ class CabBoard:
         self._rx_backlog: list[tuple[Packet, int, int, int]] = []
         self._reply_waiters: dict[int, Event] = {}
         self.counters: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Register the board's devices with the observability layer.
+
+        Covers the outgoing fiber, the four DMA channels, the VME bus,
+        and the CPU's cumulative busy time (sampled, so the delta per
+        interval is the CPU's utilization series).
+        """
+        self.dma.register_metrics(registry, sampler)
+        self.vme.register_metrics(registry, sampler)
+        if self.out_fiber is not None:
+            self.out_fiber.register_metrics(registry, sampler,
+                                            prefix=f"{self.name}.fiber")
+        sampler.add_utilization_probe(
+            f"{self.name}.cpu.util", lambda: self.cpu.busy_ns, 1.0,
+            description="CAB CPU busy fraction")
 
     # ------------------------------------------------------------------
     # fiber endpoint protocol (called by the attached hub port's fiber)

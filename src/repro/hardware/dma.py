@@ -17,6 +17,8 @@ from typing import TYPE_CHECKING
 
 from ..sim import Resource
 
+__all__ = ["DmaController"]
+
 if TYPE_CHECKING:  # pragma: no cover
     from .cab import CabBoard
     from .frames import Packet
@@ -40,6 +42,31 @@ class DmaController:
         self.bytes_out = 0
         self.bytes_in = 0
         self.bytes_vme = 0
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Sampled channel occupancy and cumulative transfer volume.
+
+        Each channel's busy level is sampled as 0/1 (the channels are
+        capacity-1 resources); the mean of the series over a run is the
+        channel's busy fraction — the number the paper's §5.1 concurrency
+        argument is about.
+        """
+        base = f"{self.cab.name}.dma"
+        for channel_name, channel in (("fiber_out", self.fiber_out),
+                                      ("fiber_in", self.fiber_in),
+                                      ("vme_in", self.vme_in),
+                                      ("vme_out", self.vme_out)):
+            sampler.add_probe(
+                f"{base}.{channel_name}_busy",
+                lambda channel=channel: float(channel.in_use),
+                description=f"DMA {channel_name} channel occupancy")
+        sampler.add_probe(
+            f"{base}.bytes_out", lambda: float(self.bytes_out),
+            description="cumulative bytes DMAed to the fiber", unit="bytes")
+        sampler.add_probe(
+            f"{base}.bytes_in", lambda: float(self.bytes_in),
+            description="cumulative bytes DMAed from the fiber",
+            unit="bytes")
 
     # ------------------------------------------------------------------
 

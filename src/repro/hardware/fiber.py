@@ -18,6 +18,8 @@ from ..config import FiberConfig
 from ..sim import Event, Simulator, Store, units
 from .frames import Packet, Reply
 
+__all__ = ["FiberEndpoint", "Fiber", "DuplexFiber"]
+
 if TYPE_CHECKING:  # pragma: no cover
     pass
 
@@ -133,6 +135,20 @@ class Fiber:
         if isinstance(item, Packet) and item.payload is not None:
             if self.rng.random() < self.cfg.corrupt_probability:
                 item.payload.corrupt = True
+
+    def register_metrics(self, registry, sampler,
+                         prefix: Optional[str] = None) -> None:
+        """Sampled link health: utilization, cumulative sends and drops."""
+        base = prefix or f"fiber.{self.name}"
+        sampler.add_utilization_probe(
+            f"{base}.util", lambda: self.bytes_sent, self.cfg.ns_per_byte,
+            description="fiber busy fraction (bytes serialised / interval)")
+        sampler.add_probe(
+            f"{base}.packets", lambda: float(self.packets_sent),
+            description="cumulative packets serialised", unit="packets")
+        sampler.add_probe(
+            f"{base}.drops", lambda: float(self.packets_dropped),
+            description="cumulative fault-injected drops", unit="packets")
 
     def tail_delay(self, wire_size: int) -> int:
         """Ticks between head delivery and tail arrival for ``wire_size``."""

@@ -21,6 +21,8 @@ from .hub_commands import (CommandOp, is_supervisor, needs_controller,
 from .hub_controller import HubController
 from .hub_port import HubPort
 
+__all__ = ["Hub"]
+
 if TYPE_CHECKING:  # pragma: no cover
     pass
 
@@ -55,6 +57,33 @@ class Hub:
         self.counters[key] += amount
         if self.tracer is not None:
             self.tracer.record(self.name, key)
+
+    #: Event counters exported as sampled time series when a registry is
+    #: attached (the rest of the defaultdict still appears in snapshots).
+    OBSERVED_COUNTERS = ("commands_executed", "packets_forwarded", "closes",
+                         "replies_sent", "framing_errors", "stray_packets",
+                         "opens_abandoned")
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Register this HUB with the observability layer (§4.1).
+
+        Per-HUB counter series plus every port's queue-depth/ready/
+        utilization probes; the controller's cumulative command count
+        rides along so Perfetto shows switching activity over time.
+        """
+        for key in self.OBSERVED_COUNTERS:
+            sampler.add_probe(
+                f"{self.name}.{key}",
+                lambda key=key: float(self.counters.get(key, 0)),
+                description=f"cumulative HUB counter {key!r}",
+                unit="events")
+        sampler.add_probe(
+            f"{self.name}.controller.commands",
+            lambda: float(self.controller.commands_executed),
+            description="commands executed by the central controller",
+            unit="commands")
+        for port in self.ports:
+            port.register_metrics(registry, sampler)
 
     def port(self, index: int) -> HubPort:
         if not 0 <= index < self.cfg.num_ports:

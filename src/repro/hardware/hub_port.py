@@ -17,6 +17,8 @@ from ..sim import Broadcast, Store
 from .frames import Packet, Reply
 from .hub_commands import CommandOp, OPEN_OPS
 
+__all__ = ["HubPort"]
+
 if TYPE_CHECKING:  # pragma: no cover
     from .fiber import Fiber
     from .hub import Hub
@@ -187,6 +189,36 @@ class HubPort:
         hub.count("packets_forwarded")
         if packet.close_after or closing:
             hub.close_output(out_index)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Expose this port to the observability layer (§4.1).
+
+        Sampled per port: input-queue depth, ready-bit occupancy, and —
+        when the port is wired — output-fiber utilization (busy fraction
+        derived from bytes serialised per sampling interval).
+        """
+        base = f"{self.hub.name}.p{self.index}"
+        sampler.add_probe(
+            f"{base}.queue_depth", lambda: float(len(self._arrivals)),
+            description="packets waiting in the port input queue",
+            unit="packets")
+        sampler.add_probe(
+            f"{base}.ready", lambda: 1.0 if self.ready_bit else 0.0,
+            description="ready bit (inter-HUB flow control, §4.2.3)")
+        if self.out_fiber is not None:
+            fiber = self.out_fiber
+            sampler.add_utilization_probe(
+                f"{base}.util", lambda: fiber.bytes_sent,
+                self.hub.fiber_cfg.ns_per_byte,
+                description="output fiber busy fraction")
+            if isinstance(self.peer, HubPort):
+                # Inter-HUB links get the full fiber family too — they
+                # are the shared resource meshes saturate on first.
+                fiber.register_metrics(registry, sampler)
 
     # ------------------------------------------------------------------
     # supervisor operations

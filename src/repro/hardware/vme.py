@@ -12,6 +12,8 @@ from typing import Callable, Optional
 from ..config import CabConfig
 from ..sim import Resource, Simulator, units
 
+__all__ = ["VmeBus"]
+
 
 class VmeBus:
     """A single-master bus shared by the node and the CAB."""
@@ -47,6 +49,19 @@ class VmeBus:
     def transfer_time(self, num_bytes: int) -> int:
         """Uncontended transfer duration (for analytic checks)."""
         return units.transfer_time(num_bytes, self.bytes_per_ns)
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Sampled bus utilization and cumulative interrupt counts."""
+        sampler.add_utilization_probe(
+            f"{self.name}.util", lambda: self.bytes_transferred,
+            1.0 / self.bytes_per_ns,
+            description="VME bus busy fraction (10 MB/s ceiling, §5.2)")
+        sampler.add_probe(
+            f"{self.name}.irq_node", lambda: float(self.interrupts_to_node),
+            description="cumulative CAB-to-node interrupts", unit="irqs")
+        sampler.add_probe(
+            f"{self.name}.irq_cab", lambda: float(self.interrupts_to_cab),
+            description="cumulative node-to-CAB interrupts", unit="irqs")
 
     # ------------------------------------------------------------------
     # interrupts

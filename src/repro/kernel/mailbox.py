@@ -19,6 +19,8 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 from ..errors import MailboxError
 from ..sim import Event
 
+__all__ = ["Message", "Mailbox"]
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.memory import MemoryBlock, MemoryRegion
     from .threads import CabKernel
@@ -138,6 +140,16 @@ class Mailbox:
 
     def peek(self) -> Optional[Message]:
         return self.messages[0] if self.messages else None
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Sample this mailbox's queue depth and cumulative throughput."""
+        base = f"{self.kernel.cab.name}.mbox.{self.name}"
+        sampler.add_probe(
+            f"{base}.depth", lambda: float(len(self.messages)),
+            description="messages queued in the mailbox", unit="messages")
+        sampler.add_probe(
+            f"{base}.enqueued", lambda: float(self.enqueued),
+            description="cumulative messages accepted", unit="messages")
 
     # ------------------------------------------------------------------
 

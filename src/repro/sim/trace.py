@@ -3,16 +3,21 @@
 The prototype HUB backplane accepts an instrumentation board that monitors
 and records events related to the crossbar and its controller (§4.1).
 :class:`Tracer` plays that role for the whole simulation: components emit
-typed records, and tests/benchmarks query them afterwards.
+typed records, and tests/benchmarks query them afterwards.  The exporters
+in :mod:`repro.observe.export` turn the same records into Chrome/Perfetto
+trace files.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Simulator
+
+__all__ = ["TraceRecord", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -32,18 +37,36 @@ class Tracer:
     """Collects :class:`TraceRecord` objects from instrumented components.
 
     Tracing is off by default (zero overhead beyond one predicate check);
-    enable globally or per-kind.  A bounded ``limit`` turns the buffer into
-    a ring so long benchmark runs cannot exhaust memory.
+    enable globally or per-kind.  A bounded ``limit`` turns the buffer
+    into a true ring: once full, each new record evicts the **oldest**
+    one in O(1) (the buffer is a ``deque`` with ``maxlen``), and
+    :attr:`dropped` counts the evictions so consumers can tell a
+    truncated history from a complete one.
     """
 
     def __init__(self, sim: "Simulator", enabled: bool = False,
                  limit: Optional[int] = None) -> None:
         self.sim = sim
         self.enabled = enabled
-        self.limit = limit
-        self.records: list[TraceRecord] = []
+        self._records: deque[TraceRecord] = deque(maxlen=limit)
+        #: Records evicted from the ring so far (0 when unbounded).
+        self.dropped = 0
         self._kind_filter: Optional[set[str]] = None
         self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    @property
+    def limit(self) -> Optional[int]:
+        """The ring capacity, or None when the buffer is unbounded."""
+        return self._records.maxlen
+
+    def set_limit(self, limit: Optional[int]) -> None:
+        """Re-bound the ring, keeping the newest records that still fit."""
+        self._records = deque(self._records, maxlen=limit)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The retained records, oldest first (a copy)."""
+        return list(self._records)
 
     def enable(self, kinds: Optional[list[str]] = None) -> None:
         """Turn tracing on, optionally restricted to the given kinds."""
@@ -64,19 +87,21 @@ class Tracer:
         if self._kind_filter is not None and kind not in self._kind_filter:
             return
         entry = TraceRecord(self.sim.now, source, kind, fields)
-        self.records.append(entry)
-        if self.limit is not None and len(self.records) > self.limit:
-            del self.records[0]
+        ring = self._records
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append(entry)
         for listener in self._listeners:
             listener(entry)
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()
+        self.dropped = 0
 
     def find(self, kind: Optional[str] = None,
              source: Optional[str] = None) -> Iterator[TraceRecord]:
-        """Iterate records matching the given kind/source filters."""
-        for entry in self.records:
+        """Iterate retained records matching the given kind/source filters."""
+        for entry in self._records:
             if kind is not None and entry.kind != kind:
                 continue
             if source is not None and entry.source != source:

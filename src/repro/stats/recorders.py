@@ -7,6 +7,10 @@ from typing import Optional
 
 from ..sim import units
 
+__all__ = [
+    "percentile", "LatencyRecorder", "LatencyHistogram", "ThroughputMeter"
+]
+
 
 def percentile(samples: list[float], fraction: float) -> float:
     """Nearest-rank percentile of ``samples`` (which it sorts a copy of)."""

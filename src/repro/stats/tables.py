@@ -5,8 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+__all__ = ["ExperimentRow", "ExperimentTable"]
+
 
 @dataclass
+
 class ExperimentRow:
     """One metric in an experiment table."""
 

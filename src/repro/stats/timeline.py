@@ -12,6 +12,8 @@ from typing import Iterable, Optional
 
 from ..sim.trace import TraceRecord
 
+__all__ = ["Timeline"]
+
 
 class Timeline:
     """Buckets trace records into a fixed-width activity strip."""

@@ -25,6 +25,8 @@ from ..kernel.threads import CabKernel
 from ..sim import Simulator, Tracer
 from ..transport.base import TransportManager
 
+__all__ = ["CabStack", "NectarSystem"]
+
 _auto_names = count(1)
 
 
@@ -58,6 +60,12 @@ class CabStack:
     def create_mailbox(self, name: str, capacity: Optional[int] = None):
         return self.transport.create_mailbox(name, capacity)
 
+    def register_metrics(self, registry, sampler) -> None:
+        """Register the whole stack — board, datalink, transport."""
+        self.board.register_metrics(registry, sampler)
+        self.datalink.register_metrics(registry, sampler)
+        self.transport.register_metrics(registry, sampler)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<CabStack {self.name}>"
 
@@ -76,6 +84,7 @@ class NectarSystem:
         self.nodes: dict[str, NodeHost] = {}
         self._ports_used: dict[str, set[int]] = {}
         self._finalized = False
+        self.observatory = None
 
     # ------------------------------------------------------------------
     # construction
@@ -154,6 +163,25 @@ class NectarSystem:
             raise TopologyError("system has no CABs")
         self._finalized = True
         return self
+
+    def observe(self, interval_ns: Optional[int] = None,
+                trace: bool = True):
+        """Attach the observability layer; returns the Observatory.
+
+        Call after construction and **before** running traffic: probes
+        only see what happens after they start.  ``interval_ns`` is the
+        sampling period (default
+        :data:`~repro.observe.sampler.DEFAULT_INTERVAL_NS`);
+        ``trace=False`` keeps metrics but skips event recording (cheaper
+        for long sweeps).  See ``docs/OBSERVABILITY.md``.
+        """
+        from ..observe import DEFAULT_INTERVAL_NS, Observatory
+        if self.observatory is not None:
+            raise TopologyError("system already has an observatory")
+        self.observatory = Observatory(
+            self, interval_ns=interval_ns or DEFAULT_INTERVAL_NS,
+            trace=trace)
+        return self.observatory
 
     # ------------------------------------------------------------------
     # access & execution

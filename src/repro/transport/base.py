@@ -23,6 +23,8 @@ from ..errors import TransportError
 from ..hardware.frames import Packet, Payload
 from ..kernel.mailbox import Mailbox, Message
 
+__all__ = ["next_message_id", "slice_data", "TransportManager"]
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..datalink.protocol import Datalink
     from ..kernel.threads import CabKernel
@@ -66,6 +68,7 @@ class TransportManager:
         self.sim = cab.sim
         self.mailboxes: dict[str, Mailbox] = {}
         self.counters: dict[str, int] = defaultdict(int)
+        self._observe: Optional[tuple[Any, Any]] = None
         self.datagram = DatagramProtocol(self)
         self.stream = ByteStreamProtocol(self)
         self.rpc = RequestResponseProtocol(self)
@@ -100,7 +103,47 @@ class TransportManager:
             raise TransportError(f"{self.cab.name}: mailbox {name!r} exists")
         mailbox = Mailbox(self.kernel, name, capacity_messages=capacity)
         self.mailboxes[name] = mailbox
+        if self._observe is not None:
+            mailbox.register_metrics(*self._observe)
         return mailbox
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    #: Transport counters exported as sampled time series.
+    OBSERVED_COUNTERS = ("messages_delivered", "fragments_sent",
+                         "drops_mailbox_full", "drops_no_mailbox",
+                         "checksum_drops")
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Register this CAB's transport layer with the observer.
+
+        Sampled: aggregate mailbox depth (the §6.1 kernel's buffering
+        pressure), cumulative delivery/drop counters, and the combined
+        retransmission count of the reliable protocols.  Mailboxes
+        created after attachment self-register through
+        :meth:`create_mailbox`.
+        """
+        base = self.cab.name
+        self._observe = (registry, sampler)
+        sampler.add_probe(
+            f"{base}.mailbox_depth",
+            lambda: float(sum(len(m) for m in self.mailboxes.values())),
+            description="messages queued across the CAB's mailboxes",
+            unit="messages")
+        for key in self.OBSERVED_COUNTERS:
+            sampler.add_probe(
+                f"{base}.tp.{key}",
+                lambda key=key: float(self.counters.get(key, 0)),
+                description=f"cumulative transport counter {key!r}",
+                unit="events")
+        sampler.add_probe(
+            f"{base}.tp.retransmits",
+            lambda: float(self.stream.retransmitted + self.rpc.retransmits),
+            description="byte-stream + RPC retransmissions", unit="packets")
+        for mailbox in self.mailboxes.values():
+            mailbox.register_metrics(registry, sampler)
 
     def mailbox(self, name: str) -> Mailbox:
         try:

@@ -17,6 +17,8 @@ from ..kernel.mailbox import Message
 from ..sim import Event
 from .reassembly import ReassemblyBuffer
 
+__all__ = ["RequestResponseProtocol"]
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.frames import Packet
     from .base import TransportManager
@@ -54,6 +56,9 @@ class RequestResponseProtocol:
         self.requests_sent = 0
         self.responses_sent = 0
         self.duplicate_requests = 0
+        #: Aggregate request retransmissions (per-request counts live in
+        #: the pending-request records; this survives their cleanup).
+        self.retransmits = 0
 
     # ------------------------------------------------------------------
     # client side
@@ -94,6 +99,7 @@ class RequestResponseProtocol:
                 if pending.response in result:
                     return pending.response.value
                 pending.retransmits += 1
+                self.retransmits += 1
                 if attempt > max_retries:
                     raise TransportError(
                         f"request {request_id} to {dst_cab}/"

@@ -10,20 +10,29 @@ experiment in this repo is judged against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
 
 from ..errors import WorkloadError
 from ..stats.tables import ExperimentTable
 from .generators import Workload, WorkloadResult
 
+__all__ = ["SweepPoint", "SweepResult", "LoadSweep", "saturation_sweep"]
+
 
 @dataclass
+
 class SweepPoint:
     """One load step of a sweep."""
 
     offered_load: float
     result: WorkloadResult
+    #: Final metric snapshot of the step's system (observed sweeps only).
+    metrics: Optional[dict[str, Any]] = field(default=None, repr=False)
+    #: Mean sampled value per series (observed sweeps only) — e.g. a
+    #: port's mean ``.util`` over the step is its busy fraction.
+    series_means: Optional[dict[str, float]] = field(default=None,
+                                                     repr=False)
 
 
 class SweepResult:
@@ -108,6 +117,8 @@ class LoadSweep:
                  loads: Sequence[float],
                  knee_efficiency: float = 0.9,
                  progress: Optional[Callable[[str], None]] = None,
+                 observe: bool = False,
+                 observe_interval_ns: Optional[int] = None,
                  **workload_kwargs) -> None:
         if not loads:
             raise WorkloadError("sweep needs at least one load point")
@@ -119,16 +130,28 @@ class LoadSweep:
         self.loads = list(loads)
         self.knee_efficiency = knee_efficiency
         self.progress = progress
+        self.observe = observe
+        self.observe_interval_ns = observe_interval_ns
         self.workload_kwargs = workload_kwargs
 
     def run(self) -> SweepResult:
         points = []
         for load in self.loads:
             system = self.topology_factory()
+            observatory = None
+            if self.observe:
+                # Metrics only: event tracing over a whole sweep would
+                # record millions of events for no benefit.
+                observatory = system.observe(
+                    interval_ns=self.observe_interval_ns, trace=False)
             workload = Workload(system, offered_load=load,
                                 **self.workload_kwargs)
             result = workload.run()
-            points.append(SweepPoint(load, result))
+            point = SweepPoint(load, result)
+            if observatory is not None:
+                point.metrics = observatory.snapshot()
+                point.series_means = observatory.sampler.means()
+            points.append(point)
             if self.progress is not None:
                 self.progress(
                     f"load {load:.2f}: {result.achieved_mbps:.1f} Mb/s "

@@ -1,0 +1,236 @@
+"""Tests for repro.observe: registry, sampler, exporters, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ObserveError, TopologyError
+from repro.observe import (Counter, Gauge, Histogram, MetricRegistry,
+                           MetricSampler, chrome_trace)
+from repro.sim import Simulator
+from repro.topology import single_hub_system
+from repro.__main__ import main
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("x.count")
+        with pytest.raises(ObserveError, match="duplicate metric name"):
+            registry.counter("x.count")
+
+    def test_duplicate_across_kinds_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("same")
+        with pytest.raises(ObserveError):
+            registry.gauge("same")
+
+    def test_counter_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value() == 4
+        with pytest.raises(ObserveError):
+            counter.inc(-1)
+
+    def test_probe_gauge_rejects_set(self):
+        gauge = Gauge("g", fn=lambda: 7.0)
+        assert gauge.value() == 7.0
+        with pytest.raises(ObserveError):
+            gauge.set(1.0)
+
+    def test_histogram_snapshot(self):
+        histogram = Histogram("h", unit="ns")
+        for value in (100, 200, 400):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["kind"] == "histogram"
+        assert snap["value"]["count"] == 3
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b"]
+        assert snapshot["a"]["kind"] == "counter"
+
+
+class TestSampler:
+    def test_samples_at_fixed_interval(self):
+        sim = Simulator()
+        sampler = MetricSampler(sim, MetricRegistry(), interval_ns=1000)
+        ticks = {"n": 0}
+        sampler.add_probe("ticks", lambda: float(ticks["n"]))
+        sampler.start()
+        ticks["n"] = 5
+        sim.run(until=3500)
+        series = sampler.get_series("ticks")
+        assert series.times == [1000, 2000, 3000]
+        assert series.values == [5.0, 5.0, 5.0]
+
+    def test_utilization_probe_clamped(self):
+        sim = Simulator()
+        sampler = MetricSampler(sim, MetricRegistry(), interval_ns=1000)
+        state = {"bytes": 0}
+        sampler.add_utilization_probe("u", lambda: state["bytes"], 8.0)
+        sampler.start()
+
+        def producer():
+            state["bytes"] += 100          # 800 ns busy in a 1000 ns window
+            yield sim.timeout(1000)
+            state["bytes"] += 1000         # would be 8.0 -> clamped to 1.0
+            yield sim.timeout(1000)
+        sim.process(producer())
+        sim.run(until=2500)
+        series = sampler.get_series("u")
+        assert series.values[0] == pytest.approx(0.8)
+        assert series.values[1] == 1.0
+
+    def test_observed_run_timing_unchanged(self):
+        plain = single_hub_system(4)
+        _drive(plain)
+        plain_t = _measure(plain)
+        observed = single_hub_system(4)
+        observed.observe(interval_ns=10_000)
+        _drive(observed)
+        assert _measure(observed) == plain_t
+
+
+def _drive(system):
+    a, b = system.cab("cab0"), system.cab("cab1")
+    inbox = b.create_mailbox("inbox")
+    done = {}
+
+    def rx():
+        yield from b.kernel.wait(inbox.get())
+        done["t"] = system.now
+
+    def tx():
+        yield from a.transport.datagram.send("cab1", "inbox", size=256)
+    b.spawn(rx())
+    a.spawn(tx())
+    system.run(until=2_000_000)
+    system.delivered_at = done["t"]
+
+
+def _measure(system):
+    return system.delivered_at
+
+
+class TestObservatory:
+    def test_double_attach_rejected(self):
+        system = single_hub_system(2)
+        system.observe()
+        with pytest.raises(TopologyError, match="already has an observatory"):
+            system.observe()
+
+    def test_port_series_present(self):
+        system = single_hub_system(4)
+        observatory = system.observe(interval_ns=10_000)
+        _drive(system)
+        names = set(observatory.series)
+        for port in range(4):
+            assert f"hub0.p{port}.queue_depth" in names
+            assert f"hub0.p{port}.ready" in names
+            assert f"hub0.p{port}.util" in names
+        util = observatory.series["hub0.p0.util"]
+        assert len(util.values) > 10
+        assert all(0.0 <= value <= 1.0 for value in util.values)
+
+    def test_sweep_points_carry_metrics(self):
+        from repro.workload import LoadSweep
+        sweep = LoadSweep(lambda: single_hub_system(2), [0.1],
+                          observe=True, message_bytes=128,
+                          warmup_ns=50_000, duration_ns=200_000).run()
+        point = sweep.points[0]
+        assert point.metrics is not None
+        assert any(name.endswith(".util")
+                   for name in point.series_means)
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        system = single_hub_system(2)
+        observatory = system.observe(interval_ns=10_000)
+        _drive(system)
+        doc = chrome_trace(system.tracer.records, observatory.series)
+        text = json.dumps(doc)
+        parsed = json.loads(text)
+        events = parsed["traceEvents"]
+        assert events, "no events exported"
+        phases = {event["ph"] for event in events}
+        assert phases <= {"M", "i", "C"}
+        assert "C" in phases and "i" in phases
+        for event in events:
+            assert isinstance(event["pid"], int)
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], float)
+                assert event["ts"] >= 0.0
+        instants = [e for e in events if e["ph"] == "i"]
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_counter_events_carry_values(self):
+        system = single_hub_system(2)
+        observatory = system.observe(interval_ns=10_000)
+        _drive(system)
+        doc = chrome_trace(system.tracer.records, observatory.series)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert all("value" in e["args"] for e in counters)
+
+
+class TestCli:
+    def test_quickstart_outputs(self, tmp_path):
+        out = tmp_path / "trace.json"
+        rc = main(["observe", "quickstart", "--out", str(out),
+                   "--duration-ms", "1"])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        metrics = tmp_path / "trace.metrics.jsonl"
+        rows = [json.loads(line)
+                for line in metrics.read_text().splitlines()]
+        sampled = {row["metric"] for row in rows
+                   if row["type"] == "sample"}
+        # Acceptance criterion: per-port utilization and queue-depth
+        # time series for the HUB.
+        assert any(name.startswith("hub0.p") and name.endswith(".util")
+                   for name in sampled)
+        assert any(name.startswith("hub0.p")
+                   and name.endswith(".queue_depth") for name in sampled)
+        assert rows[-1]["type"] == "snapshot"
+
+    def test_deterministic_under_fixed_seed(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(["observe", "quickstart", "--out", str(first),
+                     "--duration-ms", "1", "--seed", "7"]) == 0
+        assert main(["observe", "quickstart", "--out", str(second),
+                     "--duration-ms", "1", "--seed", "7"]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert (tmp_path / "a.metrics.jsonl").read_bytes() == \
+            (tmp_path / "b.metrics.jsonl").read_bytes()
+
+    def test_workload_observe_flag(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        rc = main(["workload", "--cabs", "2", "--loads", "0.1",
+                   "--duration-ms", "0.5", "--warmup-ms", "0.2",
+                   "--message-bytes", "128", "--observe", str(out)])
+        assert rc == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 1
+        assert rows[0]["offered_load"] == 0.1
+        assert rows[0]["series_means"]
+
+
+class TestTracerRing:
+    def test_drop_oldest_and_counter(self):
+        sim = Simulator()
+        from repro.sim import Tracer
+        tracer = Tracer(sim, enabled=True, limit=3)
+        for index in range(5):
+            tracer.record("src", f"k{index}")
+        records = tracer.records
+        assert [r.kind for r in records] == ["k2", "k3", "k4"]
+        assert tracer.dropped == 2

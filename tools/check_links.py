@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Intra-repo Markdown link checker (stdlib-only).
+
+Scans every tracked ``*.md`` file for inline links and validates the
+relative ones: the target file must exist, and a ``#fragment`` must
+match a heading in the target (GitHub slug rules: lowercase, spaces to
+dashes, punctuation dropped).  ``http(s)``/``mailto`` links are skipped
+— CI must not depend on the network.
+
+Exit status 0 when clean; 1 with one ``file: link: problem`` line per
+broken link.
+
+Run:  python tools/check_links.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline Markdown links: ``[text](target)``, ignoring images' leading
+#: ``!`` (images are checked the same way).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Directories never scanned (build output, caches, VCS internals).
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+              ".venv", "venv"}
+#: Generated reference material (paper extraction artifacts) — their
+#: links point at assets that were intentionally not vendored.
+_SKIP_FILES = {"PAPERS.md", "PAPER.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    slugs = set()
+    seen: dict[str, int] = {}
+    for match in _HEADING.finditer(path.read_text(encoding="utf-8")):
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        if path.parent == root and path.name in _SKIP_FILES:
+            continue
+        files.append(path)
+    return files
+
+
+def check(root: pathlib.Path) -> list[str]:
+    """Return one ``file: link: problem`` line per broken link."""
+    problems = []
+    for md_file in markdown_files(root):
+        rel_file = md_file.relative_to(root)
+        for match in _LINK.finditer(md_file.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (md_file.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{rel_file}: {target}: file not found")
+                    continue
+            else:
+                resolved = md_file.resolve()
+            if fragment and resolved.suffix == ".md":
+                if github_slug(fragment) not in heading_slugs(resolved):
+                    problems.append(
+                        f"{rel_file}: {target}: no such heading")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    problems = check(root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    checked = len(markdown_files(root))
+    print(f"checked {checked} markdown file(s): links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
