@@ -7,6 +7,9 @@
 * ``python -m repro observe <scenario>`` — run an instrumented scenario
   and export a Chrome/Perfetto trace plus a JSONL metrics dump
   (``docs/OBSERVABILITY.md``).
+* ``python -m repro faults <campaign>`` — run one workload clean and
+  under a named fault-injection campaign, report the goodput/latency/
+  recovery-counter deltas (``docs/FAULTS.md``).
 
 For the complete suite use ``pytest benchmarks/ --benchmark-only -s``.
 """
@@ -17,7 +20,7 @@ import argparse
 import sys
 
 from .config import NectarConfig, default_config
-from .errors import WorkloadError
+from .errors import ConfigError, WorkloadError
 from .hardware import CabBoard, CommandOp, Hub, HubCommand, Packet, Payload
 from .nodeiface import SharedMemoryInterface
 from .sim import Simulator, units
@@ -179,6 +182,7 @@ def run_workload(args: argparse.Namespace) -> int:
             warmup_ns=units.ms(args.warmup_ms),
             duration_ns=units.ms(args.duration_ms),
             window_depth=args.window, pattern_kwargs=pattern_kwargs,
+            fault_scenario=getattr(args, "faults", None),
             observe=observe_path is not None,
             progress=(lambda line: print(f"  {line}"))
             if args.verbose else None,
@@ -275,12 +279,56 @@ def run_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_faults(args: argparse.Namespace) -> int:
+    from .faults import build_campaign, run_comparison
+    from .topology import single_hub_system
+
+    cfg = NectarConfig(seed=args.seed)
+    try:
+        scenario = build_campaign(args.campaign, cfg)
+    except ConfigError as exc:  # pragma: no cover - argparse filters
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.schedule:
+        print(scenario.schedule_text())
+        return 0
+
+    def topology():
+        return single_hub_system(args.cabs, cfg=cfg)
+
+    workload_kwargs = dict(
+        pattern="uniform", arrivals="poisson", mode=args.mode,
+        message_bytes=args.message_bytes, offered_load=args.load,
+        warmup_ns=units.ms(1.0),
+        duration_ns=max(units.ms(5.0),
+                        scenario.horizon_ns - units.ms(1.0)))
+    try:
+        comparison = run_comparison(topology, scenario,
+                                    workload_kwargs=workload_kwargs)
+    except (ConfigError, WorkloadError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign {args.campaign} (seed {args.seed}, "
+          f"{args.cabs} CABs, {args.mode} {args.message_bytes} B "
+          f"at load {args.load:.2f}): {scenario.description}")
+    print(comparison.table())
+    if args.json is not None:
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(comparison.summary(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote comparison summary to {args.json}")
+    return 0
+
+
 def _default_metrics_path(out: str) -> str:
     stem = out[:-5] if out.endswith(".json") else out
     return f"{stem}.metrics.jsonl"
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .faults import CAMPAIGNS
     from .workload.arrivals import ARRIVALS
     from .workload.patterns import PATTERNS
 
@@ -329,7 +377,33 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--observe", metavar="FILE", default=None,
                           help="write per-sweep-point metric snapshots "
                                "to FILE as JSONL")
+    workload.add_argument("--faults", metavar="CAMPAIGN", default=None,
+                          choices=sorted(CAMPAIGNS),
+                          help="inject a named fault campaign into every "
+                               "sweep step (see `python -m repro faults`)")
     workload.set_defaults(func=run_workload)
+
+    faults = commands.add_parser(
+        "faults",
+        help="clean-vs-faulted workload comparison under a campaign")
+    faults.add_argument("campaign", choices=sorted(CAMPAIGNS),
+                        help="named fault campaign to inject")
+    faults.add_argument("--cabs", type=int, default=4,
+                        help="CABs on the single HUB (default: 4)")
+    faults.add_argument("--mode", choices=("open", "closed"),
+                        default="open",
+                        help="open-loop datagrams or closed-loop RPCs")
+    faults.add_argument("--load", type=float, default=0.3,
+                        help="offered load per source (default: 0.3)")
+    faults.add_argument("--message-bytes", type=int, default=512,
+                        help="payload bytes per message (default: 512)")
+    faults.add_argument("--seed", type=int, default=1989,
+                        help="config seed; same seed, same schedule")
+    faults.add_argument("--schedule", action="store_true",
+                        help="print the campaign's fault schedule and exit")
+    faults.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the comparison summary as JSON")
+    faults.set_defaults(func=run_faults)
 
     observe = commands.add_parser(
         "observe",

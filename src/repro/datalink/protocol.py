@@ -235,6 +235,9 @@ class Datalink:
         edges = self.router.multicast_edges(self.cab.name, dst_cabs)
         yield from self.kernel.compute(self.cfg.datalink.send_overhead_ns)
         self.cab.checksum.seal(payload)
+        checksum_cost = self.cab.checksum.cost_ns(payload.size)
+        if checksum_cost:
+            yield from self.kernel.compute(checksum_cost)
         grant = self._port_lock.acquire()
         yield grant
         try:

@@ -1,0 +1,177 @@
+"""Clean-vs-faulted workload comparison reports.
+
+:func:`run_comparison` runs the same workload twice on freshly built
+systems — once clean, once under a fault scenario — and reports the
+goodput/latency deltas next to the recovery counters (retransmits,
+circuit retries, reply timeouts, checksum drops) that explain them.
+This is the end-to-end failure-behaviour evaluation the tentpole asks
+for: reliable transports should show retransmits > 0 and loss ≈ 0,
+datagram traffic should show loss tracking the injected drop windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from ..workload.generators import Workload, WorkloadResult
+from .scenario import FaultScenario
+
+__all__ = ["FaultRunMetrics", "FaultComparison", "run_comparison"]
+
+
+@dataclass
+class FaultRunMetrics:
+    """One workload run's delivery and recovery numbers."""
+
+    label: str
+    sent: int
+    delivered: int
+    errors: int
+    loss_fraction: float
+    offered_mbps: float
+    achieved_mbps: float
+    p50_us: float
+    p99_us: float
+    #: Byte-stream + RPC retransmissions across every CAB.
+    retransmits: int
+    circuit_retries: int
+    reply_timeouts: int
+    checksum_drops: int
+    fiber_drops: int
+    reply_drops: int
+    faults_injected: int = 0
+
+    def summary(self) -> dict:
+        return dict(vars(self))
+
+
+def collect_metrics(system, result: WorkloadResult,
+                    label: str) -> FaultRunMetrics:
+    """Pull the recovery counters out of a system after a workload run."""
+    recorder = result.recorder
+    retransmits = sum(stack.transport.stream.retransmitted
+                      + stack.transport.rpc.retransmits
+                      for stack in system.cabs.values())
+    circuit_retries = sum(
+        stack.datalink.counters.get("circuit_retries", 0)
+        for stack in system.cabs.values())
+    reply_timeouts = sum(
+        stack.datalink.counters.get("reply_timeouts", 0)
+        for stack in system.cabs.values())
+    checksum_drops = sum(
+        stack.transport.counters.get("checksum_drops", 0)
+        for stack in system.cabs.values())
+    fibers = {}
+    for stack in system.cabs.values():
+        board = stack.board
+        if board.out_fiber is not None:
+            fibers[board.out_fiber.name] = board.out_fiber
+    for hub in system.hubs.values():
+        for port in hub.ports:
+            if port.out_fiber is not None:
+                fibers[port.out_fiber.name] = port.out_fiber
+    injector = system.fault_injector
+    return FaultRunMetrics(
+        label=label,
+        sent=recorder.sent,
+        delivered=recorder.delivered,
+        errors=recorder.errors,
+        loss_fraction=recorder.loss_fraction,
+        offered_mbps=recorder.offered_mbps,
+        achieved_mbps=recorder.achieved_mbps,
+        p50_us=recorder.percentile_us(0.50),
+        p99_us=recorder.percentile_us(0.99),
+        retransmits=retransmits,
+        circuit_retries=circuit_retries,
+        reply_timeouts=reply_timeouts,
+        checksum_drops=checksum_drops,
+        fiber_drops=sum(f.packets_dropped for f in fibers.values()),
+        reply_drops=sum(f.replies_dropped for f in fibers.values()),
+        faults_injected=0 if injector is None
+        else injector.counters.get("injected", 0),
+    )
+
+
+@dataclass
+class FaultComparison:
+    """Side-by-side clean and faulted runs of one workload."""
+
+    scenario_name: str
+    clean: FaultRunMetrics
+    faulted: FaultRunMetrics
+    schedule_text: str = field(default="", repr=False)
+
+    @property
+    def goodput_delta_mbps(self) -> float:
+        return self.faulted.achieved_mbps - self.clean.achieved_mbps
+
+    @property
+    def p99_delta_us(self) -> float:
+        return self.faulted.p99_us - self.clean.p99_us
+
+    @property
+    def retransmit_delta(self) -> int:
+        return self.faulted.retransmits - self.clean.retransmits
+
+    def summary(self) -> dict:
+        return {
+            "scenario": self.scenario_name,
+            "clean": self.clean.summary(),
+            "faulted": self.faulted.summary(),
+            "goodput_delta_mbps": self.goodput_delta_mbps,
+            "p99_delta_us": self.p99_delta_us,
+            "retransmit_delta": self.retransmit_delta,
+        }
+
+    def table(self) -> str:
+        """A terminal-friendly clean/faulted/delta table."""
+        rows = [
+            ("sent", "{:d}", lambda m: m.sent),
+            ("delivered", "{:d}", lambda m: m.delivered),
+            ("errors", "{:d}", lambda m: m.errors),
+            ("loss fraction", "{:.4f}", lambda m: m.loss_fraction),
+            ("goodput (Mb/s)", "{:.2f}", lambda m: m.achieved_mbps),
+            ("p50 latency (us)", "{:.1f}", lambda m: m.p50_us),
+            ("p99 latency (us)", "{:.1f}", lambda m: m.p99_us),
+            ("retransmits", "{:d}", lambda m: m.retransmits),
+            ("circuit retries", "{:d}", lambda m: m.circuit_retries),
+            ("reply timeouts", "{:d}", lambda m: m.reply_timeouts),
+            ("checksum drops", "{:d}", lambda m: m.checksum_drops),
+            ("fiber drops", "{:d}", lambda m: m.fiber_drops),
+            ("reply drops", "{:d}", lambda m: m.reply_drops),
+            ("faults injected", "{:d}", lambda m: m.faults_injected),
+        ]
+        lines = [f"scenario: {self.scenario_name}",
+                 f"{'metric':<20s} {'clean':>12s} {'faulted':>12s}"]
+        for label, fmt, getter in rows:
+            lines.append(f"{label:<20s} {fmt.format(getter(self.clean)):>12s}"
+                         f" {fmt.format(getter(self.faulted)):>12s}")
+        return "\n".join(lines)
+
+
+def run_comparison(topology_factory: Callable[[], object],
+                   scenario: Union[str, FaultScenario],
+                   workload_kwargs: Optional[dict] = None
+                   ) -> FaultComparison:
+    """Run one workload clean and under ``scenario`` on fresh systems.
+
+    ``topology_factory`` must return a newly built (not yet run)
+    :class:`~repro.system.builder.NectarSystem` each call, so the two
+    runs start from identical state; ``scenario`` is a
+    :class:`FaultScenario` or a campaign name.
+    """
+    kwargs = dict(workload_kwargs or {})
+    clean_system = topology_factory()
+    clean_result = Workload(clean_system, **kwargs).run()
+    clean = collect_metrics(clean_system, clean_result, "clean")
+
+    faulted_system = topology_factory()
+    injector = faulted_system.inject_faults(scenario)
+    faulted_result = Workload(faulted_system, **kwargs).run()
+    faulted = collect_metrics(faulted_system, faulted_result, "faulted")
+
+    return FaultComparison(
+        scenario_name=injector.scenario.name,
+        clean=clean, faulted=faulted,
+        schedule_text=injector.schedule_text())

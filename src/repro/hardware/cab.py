@@ -84,6 +84,26 @@ class CabCpu:
         finally:
             self._resource.release()
 
+    def stall(self, duration_ns: int):
+        """Seize the CPU exclusively for ``duration_ns`` (generator).
+
+        Fault-injection hook (``repro.faults``): models a wedged or
+        crashed CAB processor.  The stall jumps the wait queue like an
+        interrupt, then holds the CPU so neither threads nor further
+        interrupts make progress until it lifts — input queues back up
+        and the peers' recovery timers fire, §4.2.1/§6.2.2 style.
+        """
+        duration = int(duration_ns)
+        if duration <= 0:
+            return
+        grant = self._resource.acquire(priority=True)
+        yield grant
+        try:
+            yield self.sim.timeout(duration)
+            self.busy_ns += duration
+        finally:
+            self._resource.release()
+
     def utilization(self, since_ns: int = 0) -> float:
         elapsed = self.sim.now - since_ns
         if elapsed <= 0:

@@ -50,9 +50,17 @@ class Fiber:
         self._pending: Store = Store(sim)
         self._transmitter = sim.process(self._transmit_loop(),
                                         name=f"fiber:{name}")
+        # Fault-injection overlay (``repro.faults``).  Per-fiber state so
+        # a campaign degrading one link never mutates the FiberConfig,
+        # which is shared by every fiber in the system.
+        self.fault_down = False
+        self.fault_drop = 0.0
+        self.fault_corrupt = 0.0
+        self.fault_reply_drop = 0.0
         # statistics
         self.packets_sent = 0
         self.packets_dropped = 0
+        self.replies_dropped = 0
         self.bytes_sent = 0
 
     def connect(self, endpoint: FiberEndpoint) -> None:
@@ -74,9 +82,16 @@ class Fiber:
         """Transmit by cycle-stealing: never waits for queued traffic.
 
         Used for replies and ready signals, which the hardware guarantees
-        reach the origin "within a bounded amount of time" (§4.2.1).
+        reach the origin "within a bounded amount of time" (§4.2.1) —
+        unless the fiber itself is faulted: replies have no framing-error
+        recovery path, so a downed link or a reply-loss storm makes them
+        vanish, exercising the sender's timeout-and-retry machinery.
         """
         size = self._size_of(item, wire_size)
+        if self.fault_down or (self.fault_reply_drop > 0.0
+                               and self.rng.random() < self.fault_reply_drop):
+            self.replies_dropped += 1
+            return
         latency = (self.cfg.propagation_ns
                    + units.transfer_time(size, self.cfg.bytes_per_ns))
         self.bytes_sent += size
@@ -124,16 +139,46 @@ class Fiber:
             raise RuntimeError(f"fiber {self.name} has no endpoint")
         self.endpoint.deliver(item, size)
 
+    def set_fault(self, *, down: Optional[bool] = None,
+                  drop: Optional[float] = None,
+                  corrupt: Optional[float] = None,
+                  reply_drop: Optional[float] = None) -> None:
+        """Apply a fault overlay (``repro.faults`` injection window).
+
+        Only the keywords given are changed, so overlapping windows on
+        different dimensions (e.g. a drop burst inside a reply storm)
+        compose without clobbering each other.
+        """
+        if down is not None:
+            self.fault_down = down
+        if drop is not None:
+            self.fault_drop = drop
+        if corrupt is not None:
+            self.fault_corrupt = corrupt
+        if reply_drop is not None:
+            self.fault_reply_drop = reply_drop
+
+    def clear_fault(self) -> None:
+        """Remove every fault overlay; baseline config faults remain."""
+        self.fault_down = False
+        self.fault_drop = 0.0
+        self.fault_corrupt = 0.0
+        self.fault_reply_drop = 0.0
+
     def _faulted(self, item: Any) -> bool:
-        if self.cfg.drop_probability <= 0.0:
+        if self.fault_down:
+            return True
+        drop = max(self.cfg.drop_probability, self.fault_drop)
+        if drop <= 0.0:
             return False
-        return self.rng.random() < self.cfg.drop_probability
+        return self.rng.random() < drop
 
     def _corrupt_maybe(self, item: Any) -> None:
-        if self.cfg.corrupt_probability <= 0.0:
+        corrupt = max(self.cfg.corrupt_probability, self.fault_corrupt)
+        if corrupt <= 0.0:
             return
         if isinstance(item, Packet) and item.payload is not None:
-            if self.rng.random() < self.cfg.corrupt_probability:
+            if self.rng.random() < corrupt:
                 item.payload.corrupt = True
 
     def register_metrics(self, registry, sampler,
@@ -149,6 +194,10 @@ class Fiber:
         sampler.add_probe(
             f"{base}.drops", lambda: float(self.packets_dropped),
             description="cumulative fault-injected drops", unit="packets")
+        sampler.add_probe(
+            f"{base}.reply_drops", lambda: float(self.replies_dropped),
+            description="replies/ready signals lost to injected faults",
+            unit="replies")
 
     def tail_delay(self, wire_size: int) -> int:
         """Ticks between head delivery and tail arrival for ``wire_size``."""

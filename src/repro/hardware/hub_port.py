@@ -58,6 +58,12 @@ class HubPort:
             return
         if not self.enabled:
             self.hub.count("drops_disabled_port")
+            # The packet is consumed right here, so the drained signal
+            # must still travel upstream: the sender cleared its ready
+            # bit on transmission and would otherwise wait on it forever
+            # once the port re-enables (§4.2.3).
+            if not self._arrivals.items:
+                self._signal_upstream_drained()
             return
         self._arrivals.put((item, wire_size, self.sim.now))
         self.max_queue_depth = max(self.max_queue_depth, len(self._arrivals))

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from ..errors import NodeError
 from ..hardware.frames import Packet, Payload
 from ..sim import Store
-from ..transport.base import next_message_id, slice_data
+from ..transport.base import message_size, slice_data
 from ..transport.reassembly import ReassemblyBuffer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -65,10 +65,10 @@ class NetworkDriverInterface:
         a node copy and the VME transfer, before the CAB relays it.
         """
         node = self.node
-        body_size = len(data) if size is None else size
+        body_size = message_size(data, size)
         max_payload = self.stack.system.cfg.transport.max_payload_bytes
         fragments = slice_data(data, body_size, max_payload)
-        msg_id = next_message_id()
+        msg_id = self.stack.transport.next_message_id()
         yield from node.syscall_cost()
         for index, (frag_size, chunk) in enumerate(fragments):
             yield from node.kernel_protocol_cost()

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Optional
 from ..errors import NodeError
 from ..kernel.mailbox import Mailbox, Message
 from ..sim import Event
-from ..transport.base import next_message_id, slice_data
+from ..transport.base import message_size, slice_data
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..system.builder import CabStack
@@ -67,7 +67,7 @@ class SharedMemoryInterface:
         CAB has transmitted everything.
         """
         node = self.node
-        body_size = len(data) if size is None else size
+        body_size = message_size(data, size)
         yield from node.compute(node.cfg.mailbox_command_ns)
         done = Event(self.sim)
         max_piece = self.stack.system.cfg.transport.max_payload_bytes
@@ -76,7 +76,7 @@ class SharedMemoryInterface:
         else:
             yield from node.vme_write(body_size)
             pieces = [(body_size, data)]
-        msg_id = next_message_id()
+        msg_id = self.stack.transport.next_message_id()
         count = len(pieces)
         for index, (piece_size, chunk) in enumerate(pieces):
             if pipeline and piece_size:

@@ -51,6 +51,9 @@ class Observatory:
             hub.register_metrics(self.registry, self.sampler)
         for stack in system.cabs.values():
             stack.register_metrics(self.registry, self.sampler)
+        if getattr(system, "fault_injector", None) is not None:
+            system.fault_injector.register_metrics(self.registry,
+                                                   self.sampler)
         self.sampler.start()
 
     # ------------------------------------------------------------------

@@ -27,8 +27,6 @@ from ..transport.base import TransportManager
 
 __all__ = ["CabStack", "NectarSystem"]
 
-_auto_names = count(1)
-
 
 class CabStack:
     """A CAB board plus its full software stack."""
@@ -85,13 +83,17 @@ class NectarSystem:
         self._ports_used: dict[str, set[int]] = {}
         self._finalized = False
         self.observatory = None
+        self.fault_injector = None
+        # Per-system so back-to-back builds name hubs identically (a
+        # module-global counter leaked across simulations).
+        self._auto_names = count(1)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
     def add_hub(self, name: Optional[str] = None) -> Hub:
-        hub_name = name or f"hub{next(_auto_names)}"
+        hub_name = name or f"hub{next(self._auto_names)}"
         if hub_name in self.hubs:
             raise TopologyError(f"duplicate hub name {hub_name!r}")
         hub = Hub(self.sim, hub_name, self.cfg.hub, self.cfg.fiber,
@@ -182,6 +184,27 @@ class NectarSystem:
             self, interval_ns=interval_ns or DEFAULT_INTERVAL_NS,
             trace=trace)
         return self.observatory
+
+    def inject_faults(self, scenario):
+        """Arm a fault-injection campaign; returns the FaultInjector.
+
+        ``scenario`` is a :class:`~repro.faults.FaultScenario` (or a
+        campaign name resolved through
+        :func:`~repro.faults.build_campaign`).  Call after construction
+        and before running traffic; events fire at their scheduled
+        simulated times.  See ``docs/FAULTS.md``.
+        """
+        from ..faults import FaultInjector, build_campaign
+        if self.fault_injector is not None:
+            raise TopologyError("system already has a fault injector")
+        if isinstance(scenario, str):
+            scenario = build_campaign(scenario, self.cfg)
+        self.fault_injector = FaultInjector(self, scenario)
+        self.fault_injector.start()
+        if self.observatory is not None:
+            self.fault_injector.register_metrics(
+                self.observatory.registry, self.observatory.sampler)
+        return self.fault_injector
 
     # ------------------------------------------------------------------
     # access & execution

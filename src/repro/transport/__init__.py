@@ -1,6 +1,6 @@
 """Transport protocols: datagram, byte-stream, request-response (§6.2.2)."""
 
-from .base import TransportManager, next_message_id, slice_data
+from .base import TransportManager, message_size, slice_data
 from .bytestream import ByteStreamProtocol, StreamConnection
 from .datagram import DatagramProtocol
 from .reassembly import PartialMessage, ReassemblyBuffer
@@ -14,6 +14,6 @@ __all__ = [
     "RequestResponseProtocol",
     "StreamConnection",
     "TransportManager",
-    "next_message_id",
+    "message_size",
     "slice_data",
 ]

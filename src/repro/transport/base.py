@@ -23,17 +23,25 @@ from ..errors import TransportError
 from ..hardware.frames import Packet, Payload
 from ..kernel.mailbox import Mailbox, Message
 
-__all__ = ["next_message_id", "slice_data", "TransportManager"]
+__all__ = ["message_size", "slice_data", "TransportManager"]
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..datalink.protocol import Datalink
     from ..kernel.threads import CabKernel
 
-_message_ids = count(1)
 
+def message_size(data: Optional[bytes], size: Optional[int]) -> int:
+    """Resolve a message body size from ``data``/``size`` arguments.
 
-def next_message_id() -> int:
-    return next(_message_ids)
+    Raises :class:`TransportError` when neither is given — previously
+    every send path crashed with ``TypeError: len(None)``.
+    """
+    if size is not None:
+        return size
+    if data is None:
+        raise TransportError(
+            "send needs message data or an explicit size (both were None)")
+    return len(data)
 
 
 def slice_data(data: Optional[bytes], size: int,
@@ -68,6 +76,9 @@ class TransportManager:
         self.sim = cab.sim
         self.mailboxes: dict[str, Mailbox] = {}
         self.counters: dict[str, int] = defaultdict(int)
+        # Message ids are per-manager so identical runs in one interpreter
+        # produce identical traces (module-global counters leak state).
+        self._message_ids = count(1)
         self._observe: Optional[tuple[Any, Any]] = None
         self.datagram = DatagramProtocol(self)
         self.stream = ByteStreamProtocol(self)
@@ -78,6 +89,10 @@ class TransportManager:
             for proto in handler.protos
         }
         datalink.classify = self.classify
+
+    def next_message_id(self) -> int:
+        """Allocate the next message id on this CAB's transport."""
+        return next(self._message_ids)
 
     def register_protocol(self, handler) -> None:
         """Install an additional protocol handler.
@@ -142,6 +157,12 @@ class TransportManager:
             f"{base}.tp.retransmits",
             lambda: float(self.stream.retransmitted + self.rpc.retransmits),
             description="byte-stream + RPC retransmissions", unit="packets")
+        sampler.add_probe(
+            f"{base}.tp.reassembly_expired",
+            lambda: float(self.datagram.reassembly.expired
+                          + self.rpc.reassembly.expired),
+            description="incomplete reassemblies garbage-collected",
+            unit="messages")
         for mailbox in self.mailboxes.values():
             mailbox.register_metrics(registry, sampler)
 
@@ -232,7 +253,7 @@ class TransportManager:
         the CABs "select an optimal packet size" (§6.2.2).
         """
         t_cfg = self.cfg.transport
-        msg_id = base_header.get("msg_id") or next_message_id()
+        msg_id = base_header.get("msg_id") or self.next_message_id()
         if mode == "auto" and not self.datalink.packet_fits(size):
             mode = "circuit"
         max_fragment = size if (mode == "circuit" and size > 0) \

@@ -20,13 +20,11 @@ from ..errors import TransportError
 from ..hardware.frames import Payload
 from ..kernel.mailbox import Message
 from ..sim import Broadcast
-from .base import next_message_id, slice_data
+from .base import message_size, slice_data
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.frames import Packet
     from .base import TransportManager
-
-_channel_ids = count(1)
 
 
 @dataclass
@@ -49,7 +47,7 @@ class StreamConnection:
         self.manager = proto.manager
         self.dst_cab = dst_cab
         self.dst_mailbox = dst_mailbox
-        self.channel = next(_channel_ids)
+        self.channel = next(proto._channel_ids)
         self.snd_next = 0
         self.snd_una = 0
         self.unacked: dict[int, _Unacked] = {}
@@ -75,8 +73,8 @@ class StreamConnection:
         if self.failed is not None:
             raise self.failed
         cfg = self.manager.cfg.transport
-        body_size = len(data) if size is None else size
-        msg_id = next_message_id()
+        body_size = message_size(data, size)
+        msg_id = self.manager.next_message_id()
         fragments = slice_data(data, body_size, cfg.max_payload_bytes)
         nfrags = len(fragments)
         last_seq = None
@@ -191,6 +189,8 @@ class ByteStreamProtocol:
 
     def __init__(self, manager: "TransportManager") -> None:
         self.manager = manager
+        # Per-protocol so back-to-back simulations allocate identical ids.
+        self._channel_ids = count(1)
         self.connections: dict[tuple[str, int], StreamConnection] = {}
         self.receivers: dict[tuple[str, int], _RecvState] = {}
         self.retransmitted = 0

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..kernel.mailbox import Message
+from .base import message_size
 from .reassembly import ReassemblyBuffer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,7 +43,7 @@ class DatagramProtocol:
 
         Returns once the last fragment's tail has left this CAB.
         """
-        body_size = len(data) if size is None else size
+        body_size = message_size(data, size)
         header = {"proto": "dg", "dst_mailbox": dst_mailbox, "kind": kind}
         if meta:
             header["meta"] = dict(meta)

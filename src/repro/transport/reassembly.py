@@ -48,6 +48,11 @@ class ReassemblyBuffer:
                      now: int) -> Optional[PartialMessage]:
         """Record a fragment; returns the partial if now complete."""
         header = payload.header
+        # Collect stale partials before the lookup, and never the key
+        # being updated: collecting afterwards could delete the very
+        # partial just completed (KeyError on the del below) or silently
+        # GC a fragment that would have completed an aging partial.
+        self._collect(now, updating=key)
         partial = self._partials.get(key)
         if partial is None:
             partial = PartialMessage(nfrags=header["nfrags"],
@@ -55,15 +60,15 @@ class ReassemblyBuffer:
                                      started_at=now)
             self._partials[key] = partial
         partial.add(header["frag"], payload)
-        self._collect(now)
         if partial.complete:
             del self._partials[key]
             return partial
         return None
 
-    def _collect(self, now: int) -> None:
+    def _collect(self, now: int, updating: Any = None) -> None:
         stale = [key for key, partial in self._partials.items()
-                 if now - partial.started_at > self.timeout_ns]
+                 if key != updating
+                 and now - partial.started_at > self.timeout_ns]
         for key in stale:
             del self._partials[key]
             self.expired += 1

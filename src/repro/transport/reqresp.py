@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from ..errors import TransportError
 from ..kernel.mailbox import Message
 from ..sim import Event
+from .base import message_size
 from .reassembly import ReassemblyBuffer
 
 __all__ = ["RequestResponseProtocol"]
@@ -22,8 +23,6 @@ __all__ = ["RequestResponseProtocol"]
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.frames import Packet
     from .base import TransportManager
-
-_request_ids = count(1)
 
 #: How long incomplete request/response reassemblies are kept.
 REASSEMBLY_TIMEOUT_NS = 500_000_000
@@ -49,6 +48,8 @@ class RequestResponseProtocol:
 
     def __init__(self, manager: "TransportManager") -> None:
         self.manager = manager
+        # Per-protocol so back-to-back simulations allocate identical ids.
+        self._request_ids = count(1)
         self._pending: dict[int, _PendingRequest] = {}
         self.reassembly = ReassemblyBuffer(REASSEMBLY_TIMEOUT_NS)
         #: (client, request_id) -> cached response (or in-progress marker).
@@ -77,10 +78,10 @@ class RequestResponseProtocol:
         timeout_ns = timeout_ns or cfg.retransmit_timeout_ns
         max_retries = cfg.max_retransmits if max_retries is None \
             else max_retries
-        request_id = next(_request_ids)
+        request_id = next(self._request_ids)
         pending = _PendingRequest(request_id, Event(self.manager.sim))
         self._pending[request_id] = pending
-        body_size = len(data) if size is None else size
+        body_size = message_size(data, size)
         header = {"proto": "rr_req", "dst_mailbox": service_mailbox,
                   "req_id": request_id}
         try:
@@ -98,13 +99,15 @@ class RequestResponseProtocol:
                     self.manager.cfg.kernel.wakeup_ns)
                 if pending.response in result:
                     return pending.response.value
-                pending.retransmits += 1
-                self.retransmits += 1
                 if attempt > max_retries:
+                    # The final attempt fails without retransmitting, so
+                    # it must not inflate the retransmit counters.
                     raise TransportError(
                         f"request {request_id} to {dst_cab}/"
                         f"{service_mailbox}: no response after "
                         f"{attempt} attempts")
+                pending.retransmits += 1
+                self.retransmits += 1
         finally:
             self._pending.pop(request_id, None)
 
@@ -123,7 +126,7 @@ class RequestResponseProtocol:
         meta = request.meta
         client = meta["reply_to"]
         request_id = meta["req_id"]
-        body_size = len(data) if size is None else size
+        body_size = message_size(data, size)
         self._cache_response(client, request_id, (data, body_size))
         header = {"proto": "rr_rsp", "req_id": request_id}
         self.responses_sent += 1
@@ -134,8 +137,17 @@ class RequestResponseProtocol:
     def _cache_response(self, client: str, request_id: int,
                         response: Any) -> None:
         self._served[(client, request_id)] = response
-        while len(self._served) > RESPONSE_CACHE_LIMIT:
-            self._served.pop(next(iter(self._served)))
+        if len(self._served) <= RESPONSE_CACHE_LIMIT:
+            return
+        # Evict oldest *completed* entries only: dropping an in-progress
+        # marker would let a duplicate request re-execute the server,
+        # breaking at-most-once semantics.
+        for key in list(self._served):
+            if len(self._served) <= RESPONSE_CACHE_LIMIT:
+                break
+            if self._served[key] is _IN_PROGRESS:
+                continue
+            del self._served[key]
 
     # ------------------------------------------------------------------
     # packet handling

@@ -119,6 +119,7 @@ class LoadSweep:
                  progress: Optional[Callable[[str], None]] = None,
                  observe: bool = False,
                  observe_interval_ns: Optional[int] = None,
+                 fault_scenario=None,
                  **workload_kwargs) -> None:
         if not loads:
             raise WorkloadError("sweep needs at least one load point")
@@ -132,12 +133,18 @@ class LoadSweep:
         self.progress = progress
         self.observe = observe
         self.observe_interval_ns = observe_interval_ns
+        #: Campaign name or :class:`~repro.faults.FaultScenario` injected
+        #: into every step's fresh system — each load point runs under the
+        #: same (identically seeded) fault schedule.
+        self.fault_scenario = fault_scenario
         self.workload_kwargs = workload_kwargs
 
     def run(self) -> SweepResult:
         points = []
         for load in self.loads:
             system = self.topology_factory()
+            if self.fault_scenario is not None:
+                system.inject_faults(self.fault_scenario)
             observatory = None
             if self.observe:
                 # Metrics only: event tracing over a whole sweep would

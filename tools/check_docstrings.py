@@ -26,6 +26,10 @@ import sys
 PUBLIC_MODULES = {
     "repro/errors.py",
     "repro/datalink/protocol.py",
+    "repro/faults/campaigns.py",
+    "repro/faults/injector.py",
+    "repro/faults/report.py",
+    "repro/faults/scenario.py",
     "repro/hardware/cab.py",
     "repro/hardware/dma.py",
     "repro/hardware/fiber.py",
