@@ -10,6 +10,9 @@
 * ``python -m repro faults <campaign>`` — run one workload clean and
   under a named fault-injection campaign, report the goodput/latency/
   recovery-counter deltas (``docs/FAULTS.md``).
+* ``python -m repro resilience [campaign]`` — three-way clean/healed/
+  unhealed comparison on the dual-link topology: failure detection,
+  rerouting and recovery in action (``docs/RESILIENCE.md``).
 
 For the complete suite use ``pytest benchmarks/ --benchmark-only -s``.
 """
@@ -20,7 +23,7 @@ import argparse
 import sys
 
 from .config import NectarConfig, default_config
-from .errors import ConfigError, WorkloadError
+from .errors import ConfigError, TopologyError, WorkloadError
 from .hardware import CabBoard, CommandOp, Hub, HubCommand, Packet, Payload
 from .nodeiface import SharedMemoryInterface
 from .sim import Simulator, units
@@ -183,6 +186,7 @@ def run_workload(args: argparse.Namespace) -> int:
             duration_ns=units.ms(args.duration_ms),
             window_depth=args.window, pattern_kwargs=pattern_kwargs,
             fault_scenario=getattr(args, "faults", None),
+            resilience=getattr(args, "resilience", False),
             observe=observe_path is not None,
             progress=(lambda line: print(f"  {line}"))
             if args.verbose else None,
@@ -322,6 +326,59 @@ def run_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_resilience(args: argparse.Namespace) -> int:
+    from .faults import build_campaign
+    from .resilience import run_resilience_comparison
+    from .topology import dual_link_system
+
+    cfg = NectarConfig(seed=args.seed)
+    warmup_ns = units.ms(1.0)
+    duration_ns = units.ms(args.duration_ms)
+    campaign_kwargs = dict(start_ns=warmup_ns,
+                           horizon_ns=warmup_ns + duration_ns)
+    try:
+        scenario = build_campaign(args.campaign, cfg, **campaign_kwargs)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.schedule:
+        print(scenario.schedule_text())
+        return 0
+
+    def topology():
+        return dual_link_system(args.cabs_per_hub, links=args.links,
+                                cfg=cfg)
+
+    workload_kwargs = dict(
+        pattern="uniform", arrivals="poisson", mode=args.mode,
+        message_bytes=args.message_bytes, offered_load=args.load,
+        warmup_ns=warmup_ns, duration_ns=duration_ns,
+        drain_ns=units.ms(2.0))
+    try:
+        comparison = run_resilience_comparison(
+            args.campaign, cfg=cfg, topology_factory=topology,
+            workload_kwargs=workload_kwargs,
+            campaign_kwargs=campaign_kwargs)
+    except (ConfigError, TopologyError, WorkloadError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign {args.campaign} (seed {args.seed}, 2 HUBs x "
+          f"{args.links} links, {args.cabs_per_hub} CABs each, "
+          f"{args.mode} {args.message_bytes} B at load {args.load:.2f})")
+    print(comparison.table())
+    if args.transitions:
+        print("\ndetector timeline (healed run):")
+        print(comparison.transition_text)
+    if args.json is not None:
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(comparison.summary(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote comparison summary to {args.json}")
+    return 0
+
+
 def _default_metrics_path(out: str) -> str:
     stem = out[:-5] if out.endswith(".json") else out
     return f"{stem}.metrics.jsonl"
@@ -381,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(CAMPAIGNS),
                           help="inject a named fault campaign into every "
                                "sweep step (see `python -m repro faults`)")
+    workload.add_argument("--resilience", action="store_true",
+                          help="enable failure detection and self-healing "
+                               "on every sweep step (docs/RESILIENCE.md)")
     workload.set_defaults(func=run_workload)
 
     faults = commands.add_parser(
@@ -404,6 +464,37 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--json", metavar="FILE", default=None,
                         help="also write the comparison summary as JSON")
     faults.set_defaults(func=run_faults)
+
+    resilience = commands.add_parser(
+        "resilience",
+        help="clean/healed/unhealed comparison: detection + self-healing")
+    resilience.add_argument("campaign", nargs="?", default="hub-link-flap",
+                            choices=sorted(CAMPAIGNS),
+                            help="fault campaign to heal against "
+                                 "(default: hub-link-flap)")
+    resilience.add_argument("--cabs-per-hub", type=int, default=3,
+                            help="CABs on each of the 2 HUBs (default: 3)")
+    resilience.add_argument("--links", type=int, default=2,
+                            help="parallel inter-HUB links (default: 2)")
+    resilience.add_argument("--mode", choices=("open", "closed"),
+                            default="open",
+                            help="open-loop datagrams or closed-loop RPCs")
+    resilience.add_argument("--load", type=float, default=0.25,
+                            help="offered load per source (default: 0.25)")
+    resilience.add_argument("--message-bytes", type=int, default=512,
+                            help="payload bytes per message (default: 512)")
+    resilience.add_argument("--duration-ms", type=float, default=12.0,
+                            help="measured window in ms (default: 12)")
+    resilience.add_argument("--seed", type=int, default=1989,
+                            help="config seed; same seed, same timeline")
+    resilience.add_argument("--schedule", action="store_true",
+                            help="print the fault schedule and exit")
+    resilience.add_argument("--transitions", action="store_true",
+                            help="also print the healed run's detector "
+                                 "timeline")
+    resilience.add_argument("--json", metavar="FILE", default=None,
+                            help="also write the comparison summary as JSON")
+    resilience.set_defaults(func=run_resilience)
 
     observe = commands.add_parser(
         "observe",

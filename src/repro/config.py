@@ -183,6 +183,62 @@ class TransportConfig:
     receive_packet_cpu_ns: int = 3_500
     #: Extra CPU for reliable protocols (ack generation / window checks).
     reliability_cpu_ns: int = 2_000
+    #: Adaptive Jacobson/Karn RTO (SRTT + 4·RTTVAR) for the reliable
+    #: protocols.  ``False`` restores the fixed
+    #: :attr:`retransmit_timeout_ns` timer everywhere.
+    adaptive_rto: bool = True
+    #: Clamp for the adaptive RTO (spurious-retransmit guard).
+    min_rto_ns: int = 100_000
+    #: Clamp for the adaptive RTO with backoff applied.
+    max_rto_ns: int = 16_000_000
+    #: Backoff jitter as a fraction of the base RTO, drawn from the
+    #: deterministic ``rto:<cab>-><peer>`` RNG stream.
+    rto_jitter: float = 0.1
+    #: How long incomplete reassemblies (datagram and request-response)
+    #: are kept.  Generous: a pipelined 1 MB node send crosses VME at
+    #: 10 MB/s (~100 ms).
+    reassembly_timeout_ns: int = 500_000_000
+
+
+@dataclass
+class ResilienceConfig:
+    """Self-healing layer parameters (§4 goal 4: "testing,
+    reconfiguration, and recovery from hardware failures").
+
+    Intervals are chosen so a dead inter-HUB link is detected and routed
+    around within ~0.5 ms (a few probe periods) while the monitoring
+    traffic stays a small fraction of one fiber's bandwidth.
+    """
+
+    #: Period of the inter-HUB link probes (ECHO over a specific fiber).
+    link_probe_interval_ns: int = 150_000
+    #: Reply deadline per link probe before it counts as a failure.
+    #: Must clear the worst queueing an honest link sees under load, or
+    #: congestion reads as link death.
+    link_probe_timeout_ns: int = 150_000
+    #: Consecutive probe failures: alive -> suspect / suspect -> dead.
+    link_suspect_after: int = 1
+    link_dead_after: int = 3
+    #: Consecutive probe successes a dead link needs to come back.
+    link_recover_after: int = 2
+    #: Period of the end-to-end CAB heartbeats (datagrams).
+    heartbeat_interval_ns: int = 400_000
+    #: Each CAB heartbeats the next ``fanout`` CABs on the sorted ring
+    #: (0 = all peers; the detector aggregates every observer).
+    heartbeat_fanout: int = 2
+    #: Heartbeat suspicion thresholds (alive/suspect/dead/recovering).
+    cab_suspect_after: int = 2
+    cab_dead_after: int = 4
+    cab_recover_after: int = 1
+    #: Period of the first-hop ``STATUS_READY`` uplink probes.
+    uplink_probe_interval_ns: int = 500_000
+    #: Consecutive transport failures that trip a peer's circuit breaker
+    #: even without a detector verdict.
+    breaker_failure_threshold: int = 5
+    #: How long an open breaker waits before a half-open trial.
+    breaker_cooldown_ns: int = 2_000_000
+    #: Heartbeat message body size (timestamps ride in the header).
+    heartbeat_bytes: int = 32
 
 
 @dataclass
@@ -256,6 +312,7 @@ class NectarConfig:
     kernel: KernelConfig = field(default_factory=KernelConfig)
     datalink: DatalinkConfig = field(default_factory=DatalinkConfig)
     transport: TransportConfig = field(default_factory=TransportConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     node: NodeConfig = field(default_factory=NodeConfig)
     lan: LanConfig = field(default_factory=LanConfig)
     #: Seed for all stochastic elements (fault injection, backoff jitter).
@@ -288,6 +345,42 @@ class NectarConfig:
             raise ConfigError("byte-stream window must be >= 1 packet")
         if self.cab.protection_domains < 1:
             raise ConfigError("need at least one protection domain")
+        if self.transport.retransmit_timeout_ns <= 0:
+            raise ConfigError("retransmit timeout must be positive")
+        if not 0 < self.transport.min_rto_ns <= self.transport.max_rto_ns:
+            raise ConfigError(
+                f"RTO clamp must satisfy 0 < min <= max, got "
+                f"[{self.transport.min_rto_ns}, {self.transport.max_rto_ns}]")
+        if not 0.0 <= self.transport.rto_jitter <= 1.0:
+            raise ConfigError("RTO jitter fraction must be within [0, 1]")
+        if self.transport.reassembly_timeout_ns <= 0:
+            raise ConfigError("reassembly timeout must be positive")
+        res = self.resilience
+        for label, value in (
+                ("link probe interval", res.link_probe_interval_ns),
+                ("link probe timeout", res.link_probe_timeout_ns),
+                ("heartbeat interval", res.heartbeat_interval_ns),
+                ("uplink probe interval", res.uplink_probe_interval_ns),
+                ("breaker cooldown", res.breaker_cooldown_ns)):
+            if value <= 0:
+                raise ConfigError(f"resilience {label} must be positive")
+        for label, value in (
+                ("link_suspect_after", res.link_suspect_after),
+                ("link_dead_after", res.link_dead_after),
+                ("link_recover_after", res.link_recover_after),
+                ("cab_suspect_after", res.cab_suspect_after),
+                ("cab_dead_after", res.cab_dead_after),
+                ("cab_recover_after", res.cab_recover_after),
+                ("breaker_failure_threshold",
+                 res.breaker_failure_threshold)):
+            if value < 1:
+                raise ConfigError(f"resilience {label} must be >= 1")
+        if res.link_dead_after < res.link_suspect_after \
+                or res.cab_dead_after < res.cab_suspect_after:
+            raise ConfigError(
+                "resilience dead threshold must be >= suspect threshold")
+        if res.heartbeat_fanout < 0:
+            raise ConfigError("heartbeat fanout must be >= 0 (0 = all)")
 
     def rng_stream(self, name: str = "") -> random.Random:
         """An independent, deterministic RNG stream derived from the seed.
@@ -310,7 +403,8 @@ class NectarConfig:
         merged = {
             "hub": self.hub, "fiber": self.fiber, "cab": self.cab,
             "kernel": self.kernel, "datalink": self.datalink,
-            "transport": self.transport, "node": self.node, "lan": self.lan,
+            "transport": self.transport, "resilience": self.resilience,
+            "node": self.node, "lan": self.lan,
             "seed": self.seed,
         }
         unknown = set(section_overrides) - set(merged)
@@ -350,6 +444,7 @@ __all__ = [
     "LanConfig",
     "NectarConfig",
     "NodeConfig",
+    "ResilienceConfig",
     "TransportConfig",
     "default_config",
     "replace",

@@ -74,7 +74,8 @@ class Datalink:
     OBSERVED_COUNTERS = ("packets_sent_packet_mode",
                          "packets_sent_circuit_mode", "packets_received",
                          "reply_timeouts", "circuit_retries",
-                         "input_queue_overflows", "framing_errors")
+                         "input_queue_overflows", "framing_errors",
+                         "link_probes_sent", "link_probe_timeouts")
 
     def register_metrics(self, registry, sampler) -> None:
         """Register this CAB's datalink counters with the observer."""
@@ -299,6 +300,49 @@ class Datalink:
         packet = self._packet([self._command(op, hub.name, param)],
                               None, close_after=False)
         yield from self.cab.dma.send_packet(packet)
+
+    def probe_link(self, hub_a, port_a: int, hub_b, port_b: int,
+                   timeout_ns: Optional[int] = None):
+        """Probe one specific inter-HUB fiber pair (generator).
+
+        Opens ``hub_a.port_a`` from our input port (``open with retry``)
+        and sends an ``ECHO`` addressed to ``hub_b`` through it, so the
+        echo crosses exactly the probed forward fiber and its reply
+        returns over the reverse fiber — a dead direction on either
+        fiber, or a disabled far port, times the probe out.  The caller
+        must be attached to ``hub_a``.  Returns the measured round-trip
+        time in ns, or ``None`` on timeout.  The partial connection is
+        torn down with a travelling ``close all`` either way.
+        """
+        if self.cab.hub_port is None or self.cab.hub_port.hub is not hub_a:
+            raise DatalinkError(
+                f"{self.cab.name} cannot probe from {hub_a.name}: "
+                f"not attached there")
+        yield from self.kernel.compute(self.cfg.datalink.send_overhead_ns)
+        grant = self._port_lock.acquire()
+        yield grant
+        try:
+            open_cmd = self._command(CommandOp.OPEN_RETRY, hub_a.name,
+                                     port_a)
+            echo = self._command(CommandOp.ECHO, hub_b.name, port_b)
+            reply_event = self.cab.expect_reply(echo.seq)
+            packet = self._packet([open_cmd, echo], None, close_after=False)
+            started = self.sim.now
+            self.counters["link_probes_sent"] += 1
+            yield from self.cab.dma.send_packet(packet)
+            reply = yield from self._await_reply(
+                reply_event,
+                timeout_ns or self.cfg.datalink.reply_timeout_ns)
+            rtt = None
+            if reply is not None and reply.ok:
+                rtt = self.sim.now - started
+            else:
+                self.cab.cancel_reply(echo.seq)
+                self.counters["link_probe_timeouts"] += 1
+            yield from self.close_route()
+            return rtt
+        finally:
+            self._port_lock.release()
 
     def query_first_hop(self, op: CommandOp, param: int = 0,
                         timeout_ns: Optional[int] = None):

@@ -101,11 +101,19 @@ class Router:
         for hub in (hub_a, hub_b):
             if hub.name not in self._hubs:
                 raise TopologyError(f"unknown hub {hub.name}")
-        self._links[hub_a.name].setdefault(hub_b.name, []).append(
-            (port_a, port_b))
-        self._links[hub_b.name].setdefault(hub_a.name, []).append(
-            (port_b, port_a))
+        # Parallel-link lists stay sorted by port number so a link that
+        # goes down and comes back (mark_link_down / mark_link_up) lands
+        # in its original position — the flow-hash assignment, and hence
+        # every route, is restored exactly.
+        self._insert_sorted(hub_a.name, hub_b.name, port_a, port_b)
+        self._insert_sorted(hub_b.name, hub_a.name, port_b, port_a)
         self._route_cache.clear()
+
+    def _insert_sorted(self, here: str, there: str,
+                       local: int, remote: int) -> None:
+        links = self._links[here].setdefault(there, [])
+        links.append((local, remote))
+        links.sort()
 
     def add_cab(self, cab_name: str, hub: "Hub", port: int) -> None:
         if cab_name in self._cabs:
@@ -289,3 +297,25 @@ class Router:
             self._links[hub_b].pop(hub_a, None)
         self._route_cache.clear()
         return removed
+
+    def mark_link_up(self, hub_a: str, hub_b: str,
+                     port_a: int, port_b: int) -> bool:
+        """Reinstate one inter-HUB link after recovery.
+
+        The inverse of :meth:`mark_link_down`: re-adds the ``(port_a,
+        port_b)`` parallel link between the two hubs and flushes the
+        route cache so flap recovery restores the original topology
+        (and, because link lists are kept sorted, the original routes).
+        Returns False when the link is already present (idempotent —
+        probe and revert timing can race).
+        """
+        for name in (hub_a, hub_b):
+            if name not in self._hubs:
+                raise RouteError(f"unknown hub {name!r}")
+        forward = self._links[hub_a].get(hub_b, [])
+        if (port_a, port_b) in forward:
+            return False
+        self._insert_sorted(hub_a, hub_b, port_a, port_b)
+        self._insert_sorted(hub_b, hub_a, port_b, port_a)
+        self._route_cache.clear()
+        return True

@@ -126,11 +126,47 @@ def _cab_crash(cfg: NectarConfig, rng: random.Random, **params):
     return _cab_stall(cfg, rng, **params)
 
 
+def _hub_link_flap(cfg: NectarConfig, rng: random.Random, *,
+                   forward: str = "hub0.p0->hub1.p0",
+                   reverse: str = "hub1.p0->hub0.p0",
+                   flaps: int = 2, duration_ns: int = 1_500_000,
+                   start_ns: int = DEFAULT_START_NS,
+                   horizon_ns: int = DEFAULT_HORIZON_NS) -> FaultScenario:
+    """One *inter-HUB* fiber pair goes fully dark, repeatedly.
+
+    Both directions of the link (``forward`` and ``reverse`` fiber
+    names) die together, as a cut cable would.  Windows are placed in
+    disjoint slots (one flap per slot, jittered within it) so flaps
+    never overlap — overlapping windows would revert each other's fault
+    state early.  The default targets are the first parallel link of
+    :func:`~repro.topology.builders.dual_link_system`, the self-healing
+    routing testbed.
+    """
+    if flaps < 1:
+        raise ConfigError(f"campaign needs >= 1 flap, got {flaps}")
+    slot_ns = (horizon_ns - start_ns) // flaps
+    if duration_ns >= slot_ns:
+        raise ConfigError(
+            f"flap duration {duration_ns} ns does not fit {flaps} "
+            f"disjoint slots of {slot_ns} ns; shorten it or widen "
+            f"the horizon")
+    events = []
+    for flap in range(flaps):
+        slot_start = start_ns + flap * slot_ns
+        at = slot_start + rng.randrange(slot_ns - duration_ns + 1)
+        for target in (forward, reverse):
+            events.append(FaultEvent("link_down", at, duration_ns, target))
+    return FaultScenario("hub-link-flap", events,
+                         description="repeated full outages of one "
+                                     "inter-HUB fiber pair")
+
+
 #: Registry of named campaigns: name -> builder(cfg, rng, **params).
 CAMPAIGNS: dict[str, Callable[..., FaultScenario]] = {
     "drop-burst": _drop_burst,
     "corrupt-burst": _corrupt_burst,
     "link-flap": _link_flap,
+    "hub-link-flap": _hub_link_flap,
     "reply-storm": _reply_storm,
     "port-flap": _port_flap,
     "cab-stall": _cab_stall,

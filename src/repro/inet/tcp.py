@@ -44,7 +44,7 @@ INITIAL_RTO_NS = 3_000_000
 MIN_RTO_NS = 500_000
 MAX_RTO_NS = 60_000_000_000
 
-MAX_SYN_RETRIES = 5
+MAX_SYN_RETRIES = 8
 MAX_DATA_RETRIES = 12
 
 
@@ -434,7 +434,10 @@ class TcpLayer:
         for attempt in range(MAX_SYN_RETRIES):
             yield from connection._emit(FLAG_SYN, seq=connection.iss)
             connection.snd_nxt = connection.iss + 1
-            deadline = self.sim.timeout(INITIAL_RTO_NS * (attempt + 1))
+            # Exponential backoff (RFC 6298 §5.5 style): linear growth
+            # exhausted the retry budget under sustained heavy loss.
+            deadline = self.sim.timeout(
+                min(INITIAL_RTO_NS << attempt, MAX_RTO_NS))
             result = yield self.sim.any_of([connection.established,
                                             deadline])
             if connection.established in result:

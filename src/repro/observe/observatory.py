@@ -54,6 +54,8 @@ class Observatory:
         if getattr(system, "fault_injector", None) is not None:
             system.fault_injector.register_metrics(self.registry,
                                                    self.sampler)
+        if getattr(system, "resilience", None) is not None:
+            system.resilience.register_metrics(self.registry, self.sampler)
         self.sampler.start()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,115 @@
+"""Per-peer circuit breakers for the reliable transports.
+
+A breaker sits in front of every reliable send to one peer CAB and
+fails fast — a clear :class:`~repro.errors.TransportError` instead of a
+full retry budget — while that peer is believed dead.  Two inputs trip
+it:
+
+* **Local evidence**: ``failure_threshold`` consecutive transport
+  failures (exhausted retransmits) open the breaker for ``cooldown_ns``.
+  After the cooldown it goes *half-open*: the next send is the trial;
+  success closes the breaker, failure re-opens it with a doubled
+  cooldown.
+* **Detector verdicts**: the system failure detector (heartbeats) can
+  force the breaker open while a peer is confirmed dead
+  (:meth:`CircuitBreaker.mark_dead`) and close it again on recovery —
+  modelling the supervisor broadcasting failure notices (§4 goal 4).
+
+Datagram traffic (including the resilience heartbeats themselves) never
+consults breakers, so a dead peer's recovery stays detectable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import ResilienceConfig
+
+__all__ = ["CircuitBreaker"]
+
+#: State encoding for metrics: closed=0, half-open=1, open=2.
+STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+_FOREVER = 1 << 62
+
+
+class CircuitBreaker:
+    """Fail-fast gate for reliable sends to one peer."""
+
+    def __init__(self, peer: str, cfg: ResilienceConfig,
+                 clock: Callable[[], int]) -> None:
+        self.peer = peer
+        self.cfg = cfg
+        self.clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._open_until = 0
+        self._cooldown_ns = cfg.breaker_cooldown_ns
+        self._forced = False
+        self.fast_fails = 0
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a reliable send to this peer proceed right now?"""
+        if self.state == "open":
+            if self._forced or self.clock() < self._open_until:
+                self.fast_fails += 1
+                return False
+            # Cooldown over: admit one trial send.
+            self.state = "half-open"
+        return True
+
+    def record_success(self) -> None:
+        """A reliable exchange with the peer completed."""
+        self.consecutive_failures = 0
+        if self.state != "closed":
+            self.state = "closed"
+            self._cooldown_ns = self.cfg.breaker_cooldown_ns
+        self._forced = False
+
+    def record_failure(self) -> None:
+        """A reliable exchange exhausted its retry budget."""
+        self.consecutive_failures += 1
+        if self.state == "half-open":
+            # The trial failed: back off harder.
+            self._cooldown_ns *= 2
+            self._trip()
+        elif self.state == "closed" and self.consecutive_failures \
+                >= self.cfg.breaker_failure_threshold:
+            self._trip()
+
+    # ------------------------------------------------------------------
+    # detector-driven transitions
+    # ------------------------------------------------------------------
+
+    def mark_dead(self) -> None:
+        """Force-open: the failure detector confirmed the peer dead."""
+        self._forced = True
+        if self.state != "open":
+            self._trip(until=_FOREVER)
+        else:
+            self._open_until = _FOREVER
+
+    def mark_alive(self) -> None:
+        """The detector saw the peer recover: close immediately."""
+        self._forced = False
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._cooldown_ns = self.cfg.breaker_cooldown_ns
+
+    # ------------------------------------------------------------------
+
+    def _trip(self, until: int = 0) -> None:
+        self.state = "open"
+        self.trips += 1
+        self._open_until = until or self.clock() + self._cooldown_ns
+
+    def state_value(self) -> float:
+        """Numeric state for sampled metrics (closed/half-open/open)."""
+        return float(STATE_VALUES[self.state])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CircuitBreaker {self.peer} {self.state} "
+                f"failures={self.consecutive_failures}>")

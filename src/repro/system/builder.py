@@ -84,6 +84,7 @@ class NectarSystem:
         self._finalized = False
         self.observatory = None
         self.fault_injector = None
+        self.resilience = None
         # Per-system so back-to-back builds name hubs identically (a
         # module-global counter leaked across simulations).
         self._auto_names = count(1)
@@ -205,6 +206,25 @@ class NectarSystem:
             self.fault_injector.register_metrics(
                 self.observatory.registry, self.observatory.sampler)
         return self.fault_injector
+
+    def enable_resilience(self):
+        """Start failure detection and self-healing; returns the manager.
+
+        Spawns link-probe, heartbeat and uplink-probe monitor threads on
+        the CABs (see :mod:`repro.resilience`), so call after
+        construction and before running traffic.  Thresholds and probe
+        periods come from ``cfg.resilience``.  See
+        ``docs/RESILIENCE.md``.
+        """
+        from ..resilience import ResilienceManager
+        if self.resilience is not None:
+            raise TopologyError("system already has a resilience manager")
+        self.resilience = ResilienceManager(self)
+        self.resilience.start()
+        if self.observatory is not None:
+            self.resilience.register_metrics(
+                self.observatory.registry, self.observatory.sampler)
+        return self.resilience
 
     # ------------------------------------------------------------------
     # access & execution

@@ -1,7 +1,7 @@
 """Topology builders: single-HUB, chains, 2-D meshes, Figure 7 (§3.1)."""
 
-from .builders import (figure7_system, linear_system, mesh_system,
-                       single_hub_system)
+from .builders import (dual_link_system, figure7_system, linear_system,
+                       mesh_system, single_hub_system)
 
-__all__ = ["figure7_system", "linear_system", "mesh_system",
-           "single_hub_system"]
+__all__ = ["dual_link_system", "figure7_system", "linear_system",
+           "mesh_system", "single_hub_system"]

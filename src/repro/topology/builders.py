@@ -64,6 +64,29 @@ def mesh_system(rows: int, cols: int, cabs_per_hub: int,
     return system.finalize()
 
 
+def dual_link_system(cabs_per_hub: int, links: int = 2,
+                     cfg: Optional[NectarConfig] = None) -> NectarSystem:
+    """Two HUBs joined by ``links`` parallel fiber pairs (§3.1).
+
+    "There is no a priori restriction on how many links can be used for
+    inter-HUB connections" — this is the minimal topology where one
+    inter-HUB link can die while an alternate path survives, so it is
+    the canonical testbed for self-healing routing.  Link ``k`` occupies
+    port ``k`` on both HUBs; CABs are named ``cab<hub>_<index>``.
+    """
+    if links < 1:
+        raise TopologyError("need at least one inter-HUB link")
+    system = NectarSystem(cfg)
+    hub0 = system.add_hub("hub0")
+    hub1 = system.add_hub("hub1")
+    for _ in range(links):
+        system.connect_hubs(hub0, hub1)
+    for hub_index, hub in enumerate((hub0, hub1)):
+        for cab_index in range(cabs_per_hub):
+            system.add_cab(f"cab{hub_index}_{cab_index}", hub)
+    return system.finalize()
+
+
 def figure7_system(cfg: Optional[NectarConfig] = None) -> NectarSystem:
     """The 4-HUB system of Figure 7, with the paper's port assignments.
 

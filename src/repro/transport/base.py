@@ -22,6 +22,8 @@ from ..config import NectarConfig
 from ..errors import TransportError
 from ..hardware.frames import Packet, Payload
 from ..kernel.mailbox import Mailbox, Message
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.rto import RtoEstimator
 
 __all__ = ["message_size", "slice_data", "TransportManager"]
 
@@ -88,6 +90,12 @@ class TransportManager:
             for handler in (self.datagram, self.stream, self.rpc)
             for proto in handler.protos
         }
+        #: Per-peer adaptive RTO state (Jacobson/Karn), shared by the
+        #: byte-stream and request-response protocols.
+        self._rto: dict[str, RtoEstimator] = {}
+        #: Per-peer circuit breakers gating the reliable protocols.
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._peer_probes: set[tuple[str, str]] = set()
         datalink.classify = self.classify
 
     def next_message_id(self) -> int:
@@ -163,8 +171,91 @@ class TransportManager:
                           + self.rpc.reassembly.expired),
             description="incomplete reassemblies garbage-collected",
             unit="messages")
+        sampler.add_probe(
+            f"{base}.tp.breaker_fast_fails",
+            lambda: float(self.counters.get("breaker_fast_fails", 0)),
+            description="reliable sends failed fast by open breakers",
+            unit="events")
         for mailbox in self.mailboxes.values():
             mailbox.register_metrics(registry, sampler)
+        for peer in sorted(set(self._rto) | set(self._breakers)):
+            self._register_peer_probes(peer)
+
+    def _register_peer_probes(self, peer: str) -> None:
+        """Per-peer SRTT / breaker-state gauges (lazy: peers appear as
+        traffic does; re-invocations skip what is already registered)."""
+        if self._observe is None:
+            return
+        _registry, sampler = self._observe
+        base = self.cab.name
+        estimator = self._rto.get(peer)
+        if estimator is not None \
+                and ("rto", peer) not in self._peer_probes:
+            self._peer_probes.add(("rto", peer))
+            sampler.add_probe(
+                f"{base}.tp.srtt_us.{peer}",
+                lambda e=estimator: 0.0 if e.srtt is None
+                else e.srtt / 1000.0,
+                description=f"smoothed RTT to {peer}", unit="us")
+        breaker = self._breakers.get(peer)
+        if breaker is not None \
+                and ("breaker", peer) not in self._peer_probes:
+            self._peer_probes.add(("breaker", peer))
+            sampler.add_probe(
+                f"{base}.tp.breaker.{peer}",
+                breaker.state_value,
+                description=f"circuit-breaker state toward {peer} "
+                            f"(0 closed, 1 half-open, 2 open)",
+                unit="state")
+
+    # ------------------------------------------------------------------
+    # adaptive reliability (per-peer RTO estimation, circuit breakers)
+    # ------------------------------------------------------------------
+
+    def rto_for(self, peer: str) -> RtoEstimator:
+        """The shared Jacobson/Karn RTO estimator toward ``peer``."""
+        estimator = self._rto.get(peer)
+        if estimator is None:
+            estimator = RtoEstimator(
+                self.cfg.transport,
+                self.cfg.rng_stream(f"rto:{self.cab.name}->{peer}"))
+            self._rto[peer] = estimator
+            self._register_peer_probes(peer)
+        return estimator
+
+    def breaker_for(self, peer: str) -> CircuitBreaker:
+        """The circuit breaker gating reliable sends toward ``peer``."""
+        breaker = self._breakers.get(peer)
+        if breaker is None:
+            breaker = CircuitBreaker(peer, self.cfg.resilience,
+                                     clock=lambda: self.sim.now)
+            self._breakers[peer] = breaker
+            self._register_peer_probes(peer)
+        return breaker
+
+    def check_peer(self, peer: str) -> None:
+        """Fail fast when ``peer``'s breaker is open.
+
+        Reliable protocols call this before spending their retry budget;
+        datagrams (and the resilience heartbeats riding them) never do.
+        """
+        if peer == self.cab.name:
+            return
+        if not self.breaker_for(peer).allow():
+            self.counters["breaker_fast_fails"] += 1
+            raise TransportError(
+                f"{self.cab.name}: peer {peer} circuit breaker is open "
+                f"(peer confirmed dead or repeatedly unresponsive)")
+
+    def peer_success(self, peer: str) -> None:
+        """Record a completed reliable exchange with ``peer``."""
+        if peer != self.cab.name:
+            self.breaker_for(peer).record_success()
+
+    def peer_failure(self, peer: str) -> None:
+        """Record an exhausted retry budget toward ``peer``."""
+        if peer != self.cab.name:
+            self.breaker_for(peer).record_failure()
 
     def mailbox(self, name: str) -> Mailbox:
         try:

@@ -36,6 +36,8 @@ class _Unacked:
     size: int
     data: Optional[bytes]
     retransmits: int = 0
+    #: First-transmission time (Karn: RTT-sampled only if never resent).
+    sent_ns: int = 0
 
 
 class StreamConnection:
@@ -72,6 +74,7 @@ class StreamConnection:
         """
         if self.failed is not None:
             raise self.failed
+        self.manager.check_peer(self.dst_cab)
         cfg = self.manager.cfg.transport
         body_size = message_size(data, size)
         msg_id = self.manager.next_message_id()
@@ -91,7 +94,8 @@ class StreamConnection:
                       "msg_id": msg_id, "frag": index, "nfrags": nfrags,
                       "total_size": body_size,
                       "src": self.manager.cab.name}
-            self.unacked[seq] = _Unacked(seq, header, frag_size, chunk)
+            self.unacked[seq] = _Unacked(seq, header, frag_size, chunk,
+                                         sent_ns=self.manager.sim.now)
             yield from self.manager.kernel.compute(
                 cfg.send_packet_cpu_ns + cfg.reliability_cpu_ns)
             yield from self._transmit(self.unacked[seq])
@@ -118,9 +122,21 @@ class StreamConnection:
         """Cumulative ack: everything below ``ack`` has been received."""
         if ack <= self.snd_una:
             return
+        cfg = self.manager.cfg.transport
+        estimator = self.manager.rto_for(self.dst_cab) \
+            if cfg.adaptive_rto else None
+        now = self.manager.sim.now
         for seq in range(self.snd_una, ack):
-            self.unacked.pop(seq, None)
+            record = self.unacked.pop(seq, None)
+            if record is None or estimator is None:
+                continue
+            if record.retransmits == 0:
+                # Karn's rule: retransmitted packets give ambiguous RTTs.
+                estimator.on_sample(now - record.sent_ns)
+            else:
+                estimator.on_success()
         self.snd_una = ack
+        self.manager.peer_success(self.dst_cab)
         self.acked.fire()
         if self.unacked:
             self._arm_timer()
@@ -130,8 +146,13 @@ class StreamConnection:
     def _arm_timer(self) -> None:
         cfg = self.manager.cfg.transport
         self._cancel_timer()
+        if cfg.adaptive_rto:
+            timeout_ns = self.manager.rto_for(
+                self.dst_cab).current_rto_ns()
+        else:
+            timeout_ns = cfg.retransmit_timeout_ns
         self._timer = self.manager.cab.timers.set(
-            cfg.retransmit_timeout_ns, self._on_timeout)
+            timeout_ns, self._on_timeout)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:
@@ -141,6 +162,8 @@ class StreamConnection:
     def _on_timeout(self) -> None:
         if not self.unacked or self.failed is not None:
             return
+        if self.manager.cfg.transport.adaptive_rto:
+            self.manager.rto_for(self.dst_cab).on_timeout()
         self.manager.sim.process(
             self._retransmit(),
             name=f"{self.manager.cab.name}.bs{self.channel}.rexmit")
@@ -158,6 +181,7 @@ class StreamConnection:
                 self.failed = TransportError(
                     f"stream {self.channel} to {self.dst_cab}: packet "
                     f"{seq} lost after {cfg.max_retransmits} retransmits")
+                self.manager.peer_failure(self.dst_cab)
                 self.acked.fire()
                 self._cancel_timer()
                 return

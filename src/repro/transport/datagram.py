@@ -17,11 +17,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.frames import Packet
     from .base import TransportManager
 
-#: How long an incomplete datagram reassembly is kept before discarding.
-#: Generous: a pipelined 1 MB node send crosses VME at 10 MB/s (~100 ms).
-REASSEMBLY_TIMEOUT_NS = 500_000_000
-
-
 class DatagramProtocol:
     """Unreliable message transfer between mailboxes."""
 
@@ -29,7 +24,8 @@ class DatagramProtocol:
 
     def __init__(self, manager: "TransportManager") -> None:
         self.manager = manager
-        self.reassembly = ReassemblyBuffer(REASSEMBLY_TIMEOUT_NS)
+        self.reassembly = ReassemblyBuffer(
+            manager.cfg.transport.reassembly_timeout_ns)
         self.sent = 0
         self.received = 0
 

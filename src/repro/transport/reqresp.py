@@ -24,8 +24,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.frames import Packet
     from .base import TransportManager
 
-#: How long incomplete request/response reassemblies are kept.
-REASSEMBLY_TIMEOUT_NS = 500_000_000
 #: Server-side response cache entries kept (duplicate suppression).
 RESPONSE_CACHE_LIMIT = 256
 
@@ -51,7 +49,8 @@ class RequestResponseProtocol:
         # Per-protocol so back-to-back simulations allocate identical ids.
         self._request_ids = count(1)
         self._pending: dict[int, _PendingRequest] = {}
-        self.reassembly = ReassemblyBuffer(REASSEMBLY_TIMEOUT_NS)
+        self.reassembly = ReassemblyBuffer(
+            manager.cfg.transport.reassembly_timeout_ns)
         #: (client, request_id) -> cached response (or in-progress marker).
         self._served: dict[tuple[str, int], Any] = {}
         self.requests_sent = 0
@@ -72,40 +71,76 @@ class RequestResponseProtocol:
         """Issue a request and wait for the response (generator).
 
         Returns the response :class:`~repro.kernel.mailbox.Message`.
-        Raises :class:`TransportError` after the retry budget.
+        Raises :class:`TransportError` after the retry budget, or
+        immediately when ``dst_cab``'s circuit breaker is open.
+
+        With ``timeout_ns=None`` and ``adaptive_rto`` enabled (the
+        default) each attempt waits the peer's current Jacobson/Karn
+        RTO, doubling with jitter after every timeout; an explicit
+        ``timeout_ns`` pins a fixed per-attempt deadline.
         """
         cfg = self.manager.cfg.transport
-        timeout_ns = timeout_ns or cfg.retransmit_timeout_ns
-        max_retries = cfg.max_retransmits if max_retries is None \
-            else max_retries
+        # An explicit 0 used to be silently replaced by the default
+        # (falsy-zero `or`); both knobs are validated loudly instead.
+        if timeout_ns is not None and timeout_ns <= 0:
+            raise TransportError(
+                f"request timeout must be positive, got {timeout_ns}")
+        if max_retries is None:
+            max_retries = cfg.max_retransmits
+        elif max_retries < 0:
+            raise TransportError(
+                f"max_retries must be >= 0, got {max_retries}")
+        self.manager.check_peer(dst_cab)
+        estimator = self.manager.rto_for(dst_cab) \
+            if timeout_ns is None and cfg.adaptive_rto else None
         request_id = next(self._request_ids)
         pending = _PendingRequest(request_id, Event(self.manager.sim))
         self._pending[request_id] = pending
         body_size = message_size(data, size)
         header = {"proto": "rr_req", "dst_mailbox": service_mailbox,
                   "req_id": request_id}
+        first_sent_ns = self.manager.sim.now
         try:
             attempt = 0
             while True:
                 attempt += 1
                 self.requests_sent += 1
+                if attempt == 1:
+                    first_sent_ns = self.manager.sim.now
                 yield from self.manager.send_fragments(
                     dst_cab, dict(header), data, body_size,
                     extra_cpu_ns=cfg.reliability_cpu_ns)
-                deadline = self.manager.sim.timeout(timeout_ns)
+                if estimator is not None:
+                    wait_ns = estimator.current_rto_ns()
+                else:
+                    wait_ns = timeout_ns if timeout_ns is not None \
+                        else cfg.retransmit_timeout_ns
+                deadline = self.manager.sim.timeout(wait_ns)
                 result = yield self.manager.sim.any_of(
                     [pending.response, deadline])
                 yield from self.manager.kernel.compute(
                     self.manager.cfg.kernel.wakeup_ns)
                 if pending.response in result:
+                    if estimator is not None:
+                        if pending.retransmits == 0:
+                            # Karn's rule: only un-retransmitted
+                            # exchanges give unambiguous RTT samples.
+                            estimator.on_sample(
+                                self.manager.sim.now - first_sent_ns)
+                        else:
+                            estimator.on_success()
+                    self.manager.peer_success(dst_cab)
                     return pending.response.value
                 if attempt > max_retries:
                     # The final attempt fails without retransmitting, so
                     # it must not inflate the retransmit counters.
+                    self.manager.peer_failure(dst_cab)
                     raise TransportError(
                         f"request {request_id} to {dst_cab}/"
                         f"{service_mailbox}: no response after "
                         f"{attempt} attempts")
+                if estimator is not None:
+                    estimator.on_timeout()
                 pending.retransmits += 1
                 self.retransmits += 1
         finally:

@@ -120,6 +120,7 @@ class LoadSweep:
                  observe: bool = False,
                  observe_interval_ns: Optional[int] = None,
                  fault_scenario=None,
+                 resilience: bool = False,
                  **workload_kwargs) -> None:
         if not loads:
             raise WorkloadError("sweep needs at least one load point")
@@ -137,6 +138,9 @@ class LoadSweep:
         #: into every step's fresh system — each load point runs under the
         #: same (identically seeded) fault schedule.
         self.fault_scenario = fault_scenario
+        #: Enable failure detection + self-healing on every step's
+        #: system (monitoring overhead then applies at every load point).
+        self.resilience = resilience
         self.workload_kwargs = workload_kwargs
 
     def run(self) -> SweepResult:
@@ -145,6 +149,8 @@ class LoadSweep:
             system = self.topology_factory()
             if self.fault_scenario is not None:
                 system.inject_faults(self.fault_scenario)
+            if self.resilience:
+                system.enable_resilience()
             observatory = None
             if self.observe:
                 # Metrics only: event tracing over a whole sweep would

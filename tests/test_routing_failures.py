@@ -1,0 +1,98 @@
+"""Routing under link failure: reroute, recompute, restore (§4 goal 4).
+
+The router must survive losing an inter-HUB link: unicast flows move to
+surviving parallel links, multicast trees recompute around the dead
+edge, a full partition raises a clean :class:`~repro.errors.RouteError`,
+and reinstating the link restores the original routes exactly.
+"""
+
+import pytest
+
+from repro.errors import RouteError
+from repro.topology import dual_link_system, mesh_system
+
+
+def route_ports(system, src, dst):
+    return [hop.out_port for hop in system.router.route(src, dst).hops]
+
+
+class TestParallelLinkFailover:
+    def test_survivor_carries_all_flows(self):
+        system = dual_link_system(3, links=2)
+        router = system.router
+        pairs = [(f"cab0_{i}", f"cab1_{j}")
+                 for i in range(3) for j in range(3)]
+        before = {router.route(s, d).hops[0].out_port for s, d in pairs}
+        assert before == {0, 1}        # flows spread over both links
+        assert router.mark_link_down("hub0", "hub1", 0) == 1
+        after = {router.route(s, d).hops[0].out_port for s, d in pairs}
+        assert after == {1}            # every flow on the survivor
+        assert router.parallel_links("hub0", "hub1") == [(1, 1)]
+        # Both directions went down together.
+        assert router.parallel_links("hub1", "hub0") == [(1, 1)]
+
+    def test_down_then_up_restores_original_routes(self):
+        system = dual_link_system(3, links=2)
+        router = system.router
+        pairs = [(f"cab0_{i}", f"cab1_{j}")
+                 for i in range(3) for j in range(3)]
+        original = {(s, d): route_ports(system, s, d) for s, d in pairs}
+        router.mark_link_down("hub0", "hub1", 0)
+        rerouted = {(s, d): route_ports(system, s, d) for s, d in pairs}
+        assert rerouted != original
+        assert router.mark_link_up("hub0", "hub1", 0, 0) is True
+        restored = {(s, d): route_ports(system, s, d) for s, d in pairs}
+        assert restored == original
+
+    def test_mark_link_up_is_idempotent(self):
+        system = dual_link_system(2, links=2)
+        router = system.router
+        assert router.mark_link_up("hub0", "hub1", 0, 0) is False
+        router.mark_link_down("hub0", "hub1", 0)
+        assert router.mark_link_up("hub0", "hub1", 0, 0) is True
+        assert router.mark_link_up("hub0", "hub1", 0, 0) is False
+        assert router.parallel_links("hub0", "hub1") == [(0, 0), (1, 1)]
+
+    def test_mark_link_up_rejects_unknown_hub(self):
+        system = dual_link_system(2, links=2)
+        with pytest.raises(RouteError):
+            system.router.mark_link_up("hub0", "nope", 0, 0)
+
+    def test_full_partition_raises_route_error(self):
+        system = dual_link_system(2, links=2)
+        router = system.router
+        assert router.mark_link_down("hub0", "hub1") == 2
+        with pytest.raises(RouteError):
+            router.route("cab0_0", "cab1_0")
+        # Intra-hub traffic is unaffected by the partition.
+        route = router.route("cab0_0", "cab0_1")
+        assert route.hub_count == 1
+
+
+class TestMulticastUnderFailure:
+    def test_multicast_recomputes_around_dead_link(self):
+        system = mesh_system(2, 2, 1)
+        router = system.router
+        src = "cab_0_0_0"
+        dsts = ["cab_0_1_0", "cab_1_1_0"]
+        before = router.multicast_edges(src, dsts)
+        dead_port = router.parallel_links("hub_0_0", "hub_0_1")[0][0]
+        assert any(edge.hub.name == "hub_0_0"
+                   and edge.out_port == dead_port
+                   for edge in before)
+        router.mark_link_down("hub_0_0", "hub_0_1")
+        after = router.multicast_edges(src, dsts)
+        # The tree no longer crosses the dead edge but reaches both
+        # destinations through the surviving side of the mesh.
+        assert not any(edge.hub.name == "hub_0_0"
+                       and edge.out_port == dead_port
+                       for edge in after)
+        leaves = {edge.dst for edge in after if edge.is_leaf}
+        assert leaves == set(dsts)
+
+    def test_multicast_to_unreachable_destination_raises(self):
+        system = dual_link_system(2, links=2)
+        router = system.router
+        router.mark_link_down("hub0", "hub1")
+        with pytest.raises(RouteError):
+            router.multicast_edges("cab0_0", ["cab0_1", "cab1_0"])

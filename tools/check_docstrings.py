@@ -41,6 +41,11 @@ PUBLIC_MODULES = {
     "repro/observe/metrics.py",
     "repro/observe/observatory.py",
     "repro/observe/sampler.py",
+    "repro/resilience/breaker.py",
+    "repro/resilience/detector.py",
+    "repro/resilience/monitor.py",
+    "repro/resilience/report.py",
+    "repro/resilience/rto.py",
     "repro/sim/trace.py",
     "repro/stats/recorders.py",
     "repro/stats/tables.py",
