@@ -13,6 +13,10 @@
 * ``python -m repro resilience [campaign]`` — three-way clean/healed/
   unhealed comparison on the dual-link topology: failure detection,
   rerouting and recovery in action (``docs/RESILIENCE.md``).
+* ``python -m repro bench`` — engine wall-clock benchmark: events/sec
+  on the fixed-seed scenarios of :mod:`repro.perfbench`, written to
+  ``BENCH_engine.json`` (render/compare with ``tools/perf_report.py``;
+  see ``docs/PERFORMANCE.md``).
 
 For the complete suite use ``pytest benchmarks/ --benchmark-only -s``.
 """
@@ -283,6 +287,37 @@ def run_observe(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .perfbench import SCENARIOS, SMOKE_SCENARIOS, run_suite, \
+        write_results
+
+    unknown = sorted(set(args.scenarios) - set(SCENARIOS))
+    if unknown:
+        print(f"error: unknown scenario(s) {', '.join(unknown)} "
+              f"(have: {', '.join(sorted(SCENARIOS))})", file=sys.stderr)
+        return 2
+    names = list(SMOKE_SCENARIOS) if args.smoke else \
+        (args.scenarios or sorted(SCENARIOS))
+    results = run_suite(names, repeat=args.repeat)
+    baseline = None
+    if os.path.exists(args.out):
+        with open(args.out, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    document = write_results(args.out, results, args.label,
+                             baseline=baseline)
+    for name in names:
+        data = results[name]
+        print(f"{name:16s} {data['events']:>9,} events  "
+              f"{data['wall_s']:.4f}s  "
+              f"{data['events_per_sec']:>12,.0f} events/sec")
+    print(f"wrote {args.out} "
+          f"(runs: {', '.join(document['runs'])})")
+    return 0
+
+
 def run_faults(args: argparse.Namespace) -> int:
     from .faults import build_campaign, run_comparison
     from .topology import single_hub_system
@@ -515,6 +550,25 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--seed", type=int, default=1989,
                          help="config seed; same seed, same trace")
     observe.set_defaults(func=run_observe)
+
+    from .perfbench import SCENARIOS as BENCH_SCENARIOS
+    bench = commands.add_parser(
+        "bench",
+        help="engine wall-clock benchmark: events/sec on fixed-seed "
+             "scenarios, results to BENCH_engine.json")
+    bench.add_argument("scenarios", nargs="*", metavar="scenario",
+                       help="scenarios to run (default: all); one of: "
+                            + ", ".join(sorted(BENCH_SCENARIOS)))
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="runs per scenario, fastest kept (default: 3)")
+    bench.add_argument("--label", default="optimized",
+                       help="run label in the document (default: optimized)")
+    bench.add_argument("--out", default="BENCH_engine.json",
+                       help="output document; an existing file's runs are "
+                            "preserved (default: BENCH_engine.json)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="run only the quick CI smoke scenarios")
+    bench.set_defaults(func=run_bench)
     return parser
 
 

@@ -51,7 +51,7 @@ class EthernetMedium:
     def attempt(self, frame_ns: int) -> Event:
         """Begin transmitting now; the event fires True (sent) or False
         (collision).  All attempts in the same tick collide."""
-        outcome = Event(self.sim)
+        outcome = self.sim.event()
         self._starters.append((outcome, frame_ns))
         if not self._resolving:
             self._resolving = True

@@ -58,15 +58,17 @@ class CabCpu:
         between them (cooperative model of preemption).
         """
         remaining = int(cost_ns)
+        resource = self._resource
+        sim = self.sim
+        quantum_ns = self.QUANTUM_NS
         while remaining > 0:
-            quantum = min(remaining, self.QUANTUM_NS)
-            grant = self._resource.acquire()
-            yield grant
+            quantum = remaining if remaining < quantum_ns else quantum_ns
+            yield resource.acquire()
             try:
-                yield self.sim.timeout(quantum)
+                yield sim.timeout(quantum)
                 self.busy_ns += quantum
             finally:
-                self._resource.release()
+                resource.release()
             remaining -= quantum
 
     def execute_interrupt(self, cost_ns: int):
@@ -254,7 +256,7 @@ class CabBoard:
         """Event that fires with the :class:`Reply` for command ``seq``."""
         if seq in self._reply_waiters:
             raise RuntimeError(f"{self.name}: reply {seq} already expected")
-        event = Event(self.sim)
+        event = self.sim.event()
         self._reply_waiters[seq] = event
         return event
 

@@ -48,6 +48,12 @@ class Fiber:
         self.rng = rng or random.Random(f"fiber:{name}")
         self.endpoint: Optional[FiberEndpoint] = None
         self._pending: Store = Store(sim)
+        # Per-packet timing is pure arithmetic over a fixed rate, so the
+        # head latency is computed once and serialization times are memoized
+        # per wire size (fragment sizes repeat heavily under load).
+        self._head_latency = (cfg.propagation_ns
+                              + units.transfer_time(1, cfg.bytes_per_ns))
+        self._xfer_cache: dict[int, int] = {}
         self._transmitter = sim.process(self._transmit_loop(),
                                         name=f"fiber:{name}")
         # Fault-injection overlay (``repro.faults``).  Per-fiber state so
@@ -74,7 +80,7 @@ class Fiber:
         """Queue ``item`` for transmission; event fires when the tail has
         left this end of the fiber."""
         size = self._size_of(item, wire_size)
-        done = Event(self.sim)
+        done = self.sim.event()
         self._pending.put((item, size, done))
         return done
 
@@ -92,8 +98,7 @@ class Fiber:
                                and self.rng.random() < self.fault_reply_drop):
             self.replies_dropped += 1
             return
-        latency = (self.cfg.propagation_ns
-                   + units.transfer_time(size, self.cfg.bytes_per_ns))
+        latency = self.cfg.propagation_ns + self._serialization(size)
         self.bytes_sent += size
         self.sim.call_in(latency, lambda: self._deliver(item, size))
 
@@ -106,10 +111,20 @@ class Fiber:
             return item.wire_size
         raise TypeError(f"cannot size {item!r}; pass wire_size")
 
+    def _serialization(self, size: int) -> int:
+        """Memoized ``transfer_time`` for this fiber's fixed byte rate."""
+        ticks = self._xfer_cache.get(size)
+        if ticks is None:
+            ticks = units.transfer_time(size, self.cfg.bytes_per_ns)
+            self._xfer_cache[size] = ticks
+        return ticks
+
     def _transmit_loop(self):
+        sim = self.sim
+        pending = self._pending
         while True:
-            item, size, done = yield self._pending.get()
-            serialization = units.transfer_time(size, self.cfg.bytes_per_ns)
+            item, size, done = yield pending.get()
+            serialization = self._serialization(size)
             # Cut-through: the head arrives after propagation plus one byte
             # time; the line stays busy until the tail has been serialised.
             deliver = True
@@ -125,11 +140,9 @@ class Fiber:
             else:
                 self._corrupt_maybe(item)
             if deliver:
-                head_latency = (self.cfg.propagation_ns
-                                + units.transfer_time(1, self.cfg.bytes_per_ns))
-                self.sim.call_in(head_latency,
-                                 lambda i=item, s=size: self._deliver(i, s))
-            yield self.sim.timeout(serialization)
+                sim.call_in(self._head_latency,
+                            lambda i=item, s=size: self._deliver(i, s))
+            yield sim.timeout(serialization)
             self.packets_sent += 1
             self.bytes_sent += size
             done.succeed()

@@ -11,7 +11,7 @@ count the hardware would see.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import count
+from itertools import accumulate, count
 from typing import TYPE_CHECKING, Any, Optional
 
 from .hub_commands import CommandOp
@@ -22,17 +22,39 @@ if TYPE_CHECKING:  # pragma: no cover
 _packet_ids = count(1)
 _command_seqs = count(1)
 
+#: Bytes per Fletcher-16 block.  Intermediate sums stay well inside a
+#: machine word: 65536 blocks of prefix sums of 255-valued bytes top out
+#: near 2**40.
+_FLETCHER_BLOCK = 65536
+
 
 def fletcher16(data: bytes) -> int:
-    """The checksum the CAB's hardware unit computes (Fletcher-16)."""
+    """The checksum the CAB's hardware unit computes (Fletcher-16).
+
+    Blocked deferred-modulo form of the classic per-byte recurrence
+    ``low += b; high += low`` (both mod 255).  Over a block ``B`` of
+    ``m`` bytes the recurrence is linear, so::
+
+        low'  = low + sum(B)
+        high' = high + m*low + sum(prefix_sums(B))
+
+    with a single modulo at the block boundary.  ``sum`` and
+    ``itertools.accumulate`` run at C speed, replacing the per-byte
+    Python loop (~10-50x on kilobyte payloads); the block size keeps the
+    deferred sums word-sized.  Checksums are bit-identical to the
+    per-byte form — pinned by a property test against the reference
+    implementation in ``tests/test_frames.py``.
+    """
     low = high = 0
-    for byte in data:
-        low = (low + byte) % 255
-        high = (high + low) % 255
+    view = memoryview(data)
+    for start in range(0, len(view), _FLETCHER_BLOCK):
+        block = view[start:start + _FLETCHER_BLOCK]
+        high = (high + len(block) * low + sum(accumulate(block))) % 255
+        low = (low + sum(block)) % 255
     return (high << 8) | low
 
 
-@dataclass
+@dataclass(slots=True)
 class Payload:
     """The data segment of a packet.
 
@@ -48,6 +70,11 @@ class Payload:
     header: dict[str, Any] = field(default_factory=dict)
     checksum: Optional[int] = None
     corrupt: bool = False
+    #: Memoized checksum — ``size``/``data`` are fixed after construction
+    #: (fault injection flips ``corrupt``, never the bytes), so the value
+    #: computed by the send-side DMA is reused by every later verify.
+    _computed: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.data is not None and len(self.data) != self.size:
@@ -62,11 +89,16 @@ class Payload:
         return self
 
     def compute_checksum(self) -> int:
-        if self.data is not None:
-            return fletcher16(self.data)
-        # Synthetic payloads checksum over their size so corruption of the
-        # flag is still detectable.
-        return fletcher16(self.size.to_bytes(8, "little"))
+        computed = self._computed
+        if computed is None:
+            if self.data is not None:
+                computed = fletcher16(self.data)
+            else:
+                # Synthetic payloads checksum over their size so corruption
+                # of the flag is still detectable.
+                computed = fletcher16(self.size.to_bytes(8, "little"))
+            self._computed = computed
+        return computed
 
     def verify_checksum(self) -> bool:
         """True if the payload is intact (fails when fault injection hit)."""
@@ -77,7 +109,7 @@ class Payload:
         return self.checksum == self.compute_checksum()
 
 
-@dataclass
+@dataclass(slots=True)
 class HubCommand:
     """One 3-byte HUB command: ``(op, hub, param)`` (§4.2)."""
 

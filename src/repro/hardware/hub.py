@@ -54,9 +54,17 @@ class Hub:
     # ------------------------------------------------------------------
 
     def count(self, key: str, amount: int = 1) -> None:
+        """Bump a counter (and trace it when tracing is actually on).
+
+        This runs for every command, hop, and drop, so the disabled-tracing
+        case must cost one attribute check here — not a ``Tracer.record``
+        call that immediately returns (see the ``trace-disabled`` scenario
+        in :mod:`repro.perfbench`).
+        """
         self.counters[key] += amount
-        if self.tracer is not None:
-            self.tracer.record(self.name, key)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record(self.name, key)
 
     #: Event counters exported as sampled time series when a registry is
     #: attached (the rest of the defaultdict still appears in snapshots).

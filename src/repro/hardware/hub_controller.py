@@ -66,7 +66,7 @@ class HubController:
                reverse_path: list) -> Event:
         """Queue a command; the returned event fires with a result dict."""
         job = ControllerJob(command, in_port, reverse_path,
-                            done=Event(self.sim))
+                            done=self.sim.event())
         self._queue.put(job)
         return job.done
 

@@ -17,7 +17,7 @@ import struct
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..errors import TransportError
-from ..sim import Broadcast, Event, Store
+from ..sim import Broadcast, Store
 from .ip import PROTO_TCP, IpLayer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -123,7 +123,7 @@ class TcpConnection:
         self.delivered: Store = Store(self.sim)
         self.remote_closed = False
         # lifecycle
-        self.established = Event(self.sim)
+        self.established = self.sim.event()
         self.retransmissions = 0
         self.segments_sent = 0
 

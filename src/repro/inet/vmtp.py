@@ -22,7 +22,6 @@ from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..errors import TransportError
-from ..sim import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .ip import IpLayer
@@ -134,7 +133,7 @@ class VmtpLayer:
                 f"{len(data)} B exceeds one packet group "
                 f"({MAX_SEGMENTS} × {seg_bytes} B)")
         txn = next(_transaction_ids)
-        state: dict[str, Any] = {"response": Event(self.sim),
+        state: dict[str, Any] = {"response": self.sim.event(),
                                  "nack": None}
         self._pending[txn] = state
         try:
@@ -153,7 +152,7 @@ class VmtpLayer:
                         dst_cab, _KIND_REQUEST, port, txn, index, nsegs,
                         data, seg_bytes)
                 deadline = self.sim.timeout(RETRANS_TIMEOUT_NS)
-                state["wake"] = Event(self.sim)   # NACK arrival
+                state["wake"] = self.sim.event()   # NACK arrival
                 outcome = yield self.sim.any_of([state["response"],
                                                  state["wake"], deadline])
                 yield from self.stack.kernel.compute(

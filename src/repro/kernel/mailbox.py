@@ -83,7 +83,7 @@ class Mailbox:
         """
         if self.closed:
             raise MailboxError(f"mailbox {self.name} is closed")
-        event = Event(self.sim)
+        event = self.sim.event()
         self._writers.append((message, event))
         self._service()
         return event
@@ -112,7 +112,7 @@ class Mailbox:
     def _read(self, predicate: Optional[Callable[[Message], bool]]) -> Event:
         if self.closed and not self.messages:
             raise MailboxError(f"mailbox {self.name} is closed and empty")
-        event = Event(self.sim)
+        event = self.sim.event()
         self._readers.append((predicate, event))
         self._service()
         return event

@@ -64,7 +64,7 @@ class NodeServices:
         if self.node is None:
             raise NodeError("no node attached for kernel services")
         req = ServiceRequest(service, args, arg_bytes,
-                             completed=Event(self.sim))
+                             completed=self.sim.event())
         self._pending[req.request_id] = req
         # Push the request descriptor over VME, then interrupt the node.
         yield from self.kernel.cab.vme.transfer(arg_bytes)

@@ -97,8 +97,13 @@ class CabKernel:
     # ------------------------------------------------------------------
 
     def compute(self, cost_ns: int):
-        """Charge ``cost_ns`` of thread-level CPU work."""
-        yield from self.cab.cpu.execute(cost_ns)
+        """Charge ``cost_ns`` of thread-level CPU work.
+
+        Returns the CPU's generator directly (callers ``yield from`` it);
+        not a generator function itself, which would add one delegation
+        frame to every compute on the send/receive hot path.
+        """
+        return self.cab.cpu.execute(cost_ns)
 
     def wait(self, event: Event):
         """Block on ``event``; pay the context-switch cost on resumption."""

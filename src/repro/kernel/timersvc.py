@@ -36,7 +36,7 @@ class TimerService:
 
     def timeout_event(self, delay_ns: int) -> tuple[Event, TimerHandle]:
         """An event that fires when the timer expires, plus its handle."""
-        event = Event(self.sim)
+        event = self.sim.event()
         handle = self.arm(delay_ns,
                           lambda: event.succeed() if not event.triggered
                           else None)
@@ -48,7 +48,7 @@ class TimerService:
         This is the kernel's standard guarded-wait: used for reply
         timeouts and retransmission deadlines.
         """
-        guarded = Event(self.sim)
+        guarded = self.sim.event()
 
         def on_event(ev: Event) -> None:
             if not guarded.triggered:

@@ -21,7 +21,6 @@ from typing import TYPE_CHECKING, Optional
 
 from ..errors import NodeError
 from ..kernel.mailbox import Mailbox, Message
-from ..sim import Event
 from ..transport.base import message_size, slice_data
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,7 +68,7 @@ class SharedMemoryInterface:
         node = self.node
         body_size = message_size(data, size)
         yield from node.compute(node.cfg.mailbox_command_ns)
-        done = Event(self.sim)
+        done = self.sim.event()
         max_piece = self.stack.system.cfg.transport.max_payload_bytes
         if pipeline:
             pieces = slice_data(data, body_size, max_piece)

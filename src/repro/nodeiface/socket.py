@@ -51,7 +51,7 @@ class SocketInterface:
         yield from node.syscall_cost()
         yield from node.copy(body_size)          # user → kernel mbuf
         yield from node.vme_write(body_size)     # kernel → CAB memory
-        done = Event(self.sim)
+        done = self.sim.event()
         self.stack.spawn(self._cab_send(dst_cab, dst_mailbox, data,
                                         body_size, protocol, done),
                          name="sock-send")
@@ -87,7 +87,7 @@ class SocketInterface:
         node = self.node
         yield from node.syscall_cost()
         self._ensure_pump(mailbox)
-        waiter = Event(self.sim)
+        waiter = self.sim.event()
         self._blocked.setdefault(mailbox.name, deque()).append(waiter)
         message = yield waiter
         # The CAB's VME interrupt wakes the kernel, which schedules us.

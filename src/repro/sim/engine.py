@@ -4,20 +4,64 @@
 priority queue of triggered events.  Hardware models and protocol code are
 written as coroutine processes; the engine interleaves them in timestamp
 order, with FIFO tie-breaking for determinism.
+
+Hot-path design (see ``docs/PERFORMANCE.md`` for the full story):
+
+* :meth:`Simulator.run` drains the agenda in one inlined loop — no
+  per-event :meth:`step` call, no per-event method dispatch for the
+  common callback shapes.
+* Agenda entries are slim 3-tuples ``(time, key, event)`` where ``key``
+  packs urgency and the FIFO sequence into one integer
+  (:data:`repro.sim.events.NORMAL_KEY`).  Ordering is bit-for-bit the
+  classic ``(time, priority, seq)`` contract.
+* Processed :class:`Timeout`/:class:`Event` objects that nothing else
+  references (checked via ``sys.getrefcount``) are recycled on free
+  lists, eliminating the dominant allocation of every fiber
+  serialization, DMA transfer, VME cycle, and kernel timer.
+* :meth:`Simulator.call_at` schedules a featherweight callable wrapper
+  instead of a throwaway ``Event`` + lambda pair.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
+from sys import getrefcount
 from typing import Any, Callable, Generator, Optional
 
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import NORMAL_KEY, PENDING, _PROCESSED, AllOf, AnyOf, Event, \
+    Timeout
 from .process import Process
+
+#: Free lists never grow past this many parked objects; beyond it the
+#: simulation's live-event population, not the pool, bounds memory.
+_POOL_LIMIT = 2048
+
+#: A processed event recycled from the drain loop is referenced only by
+#: the loop local plus ``getrefcount``'s own argument.
+_UNREFERENCED = 2
 
 
 class SimulationError(Exception):
     """The simulation was halted by an unrecoverable error."""
+
+
+class _Call:
+    """Agenda-resident wrapper for :meth:`Simulator.call_at` functions.
+
+    Replaces the pre-triggered ``Event`` + adapter-lambda + callback-list
+    allocation trio with a single two-word object.  The drain loop
+    special-cases it; :meth:`Simulator.step` reaches it through
+    ``_run_callbacks`` like any other entry.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self._fn = fn
+
+    def _run_callbacks(self) -> None:
+        self._fn()
 
 
 class Simulator:
@@ -37,38 +81,41 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._now: int = 0
-        self._agenda: list[tuple[int, int, int, Event]] = []
+        #: Current simulation time in nanoseconds.  A plain attribute, not
+        #: a property: model code reads the clock on every hop/transfer,
+        #: so the read must be one dict lookup.  Treat as read-only.
+        self.now: int = 0
+        self._agenda: list[tuple[int, int, Any]] = []
         self._sequence = count()
         self._active_process: Optional[Process] = None
         self._halted: Optional[BaseException] = None
         self._halt_cause: Optional[BaseException] = None
+        #: Agenda entries processed so far (events/sec benchmarking).
+        self.events_processed: int = 0
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
 
     # ------------------------------------------------------------------
     # clock and agenda
     # ------------------------------------------------------------------
 
     @property
-    def now(self) -> int:
-        """Current simulation time in nanoseconds."""
-        return self._now
-
-    @property
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
 
-    def _enqueue(self, event: Event, delay: int, urgent: bool = False) -> None:
+    def _enqueue(self, event: Any, delay: int, urgent: bool = False) -> None:
         """Place a triggered event on the agenda ``delay`` ticks from now.
 
         ``urgent`` events sort before normal events at the same timestamp
-        (used for interrupt delivery).
+        (used for interrupt delivery).  Internal: callers guarantee a
+        non-negative delay (the single authoritative negative-delay check
+        lives in :class:`~repro.sim.events.Timeout`).
         """
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
-        priority = 0 if urgent else 1
-        heapq.heappush(self._agenda,
-                       (self._now + delay, priority, next(self._sequence), event))
+        heappush(self._agenda,
+                 (self.now + delay,
+                  (0 if urgent else NORMAL_KEY) | next(self._sequence),
+                  event))
 
     def _halt(self, error: BaseException,
               cause: Optional[BaseException] = None) -> None:
@@ -80,12 +127,34 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def event(self) -> Event:
-        """A fresh untriggered event."""
+        """A fresh untriggered event (drawn from the free list if possible)."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = PENDING
+            event._ok = None
+            return event
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """An event that fires ``delay`` ticks from now with ``value``."""
-        return Timeout(self, int(delay), value)
+        pool = self._timeout_pool
+        if pool and type(delay) is int:
+            if delay < 0:
+                # Mirror Timeout.__init__'s authoritative check (pinned
+                # by tests) so pool hits validate identically.
+                raise ValueError(f"negative timeout delay {delay}")
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._ok = True
+            timeout._value = value
+            heappush(self._agenda,
+                     (self.now + delay,
+                      NORMAL_KEY | next(self._sequence), timeout))
+            return timeout
+        if type(delay) is not int:
+            delay = int(delay)
+        return Timeout(self, delay, value)
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: Optional[str] = None) -> Process:
@@ -100,19 +169,31 @@ class Simulator:
         """Event firing when any event in ``events`` has fired."""
         return AnyOf(self, events)
 
+    def _carrier(self, ok: bool, value: Any,
+                 callback: Callable[[Event], None],
+                 urgent: bool = False) -> Event:
+        """A pre-triggered single-callback event (process resume vehicle)."""
+        pool = self._event_pool
+        event = pool.pop() if pool else Event(self)
+        event._ok = ok
+        event._value = value
+        event._cb = callback
+        heappush(self._agenda,
+                 (self.now,
+                  (0 if urgent else NORMAL_KEY) | next(self._sequence),
+                  event))
+        return event
+
     def call_at(self, time: int, func: Callable[[], None]) -> None:
         """Run ``func()`` at absolute simulation time ``time``."""
-        if time < self._now:
-            raise ValueError(f"call_at({time}) is in the past (now={self._now})")
-        event = Event(self)
-        event._ok = True
-        event._value = None
-        event.callbacks.append(lambda _event: func())
-        self._enqueue(event, delay=time - self._now)
+        if time < self.now:
+            raise ValueError(f"call_at({time}) is in the past (now={self.now})")
+        heappush(self._agenda,
+                 (time, NORMAL_KEY | next(self._sequence), _Call(func)))
 
     def call_in(self, delay: int, func: Callable[[], None]) -> None:
         """Run ``func()`` ``delay`` ticks from now."""
-        self.call_at(self._now + int(delay), func)
+        self.call_at(self.now + int(delay), func)
 
     # ------------------------------------------------------------------
     # execution
@@ -123,13 +204,18 @@ class Simulator:
         return self._agenda[0][0] if self._agenda else None
 
     def step(self) -> None:
-        """Process exactly one agenda entry."""
+        """Process exactly one agenda entry.
+
+        The single-stepping path keeps the historical structure (no
+        free-list recycling); :meth:`run` is the optimized drain loop.
+        """
         if self._halted is not None:
             raise SimulationError(str(self._halted)) from self._halt_cause
         if not self._agenda:
             raise RuntimeError("step() on an empty agenda")
-        when, _priority, _seq, event = heapq.heappop(self._agenda)
-        self._now = when
+        when, _key, event = heappop(self._agenda)
+        self.now = when
+        self.events_processed += 1
         event._run_callbacks()
         if self._halted is not None:
             error, self._halted = self._halted, None
@@ -143,16 +229,67 @@ class Simulator:
         processed and the clock is then advanced to exactly ``until``.
         Returns the final clock value.
         """
-        if until is not None and until < self._now:
+        if until is not None and until < self.now:
             raise ValueError(f"run(until={until}) is in the past "
-                             f"(now={self._now})")
-        while self._agenda:
-            if until is not None and self._agenda[0][0] > until:
-                break
-            self.step()
+                             f"(now={self.now})")
+        limit = float("inf") if until is None else until
+        agenda = self._agenda
+        if agenda and self._halted is not None and agenda[0][0] <= limit:
+            raise SimulationError(str(self._halted)) from self._halt_cause
+        pop = heappop
+        refcount = getrefcount
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        processed = 0
+        try:
+            while agenda and agenda[0][0] <= limit:
+                when, _key, event = pop(agenda)
+                self.now = when
+                processed += 1
+                # Branches ordered by frequency: Timeout dominates every
+                # hardware model, then plain Events, then _Call wrappers.
+                # Recycling (the two exact-class branches) only fires when
+                # nothing else can see the object; subclasses like
+                # Process/Condition carry extra state and stay out.
+                cls = event.__class__
+                if cls is Timeout:
+                    cb = event._cb
+                    event._cb = _PROCESSED
+                    if cb is not None:
+                        if type(cb) is list:
+                            for callback in cb:
+                                callback(event)
+                        else:
+                            cb(event)
+                    if len(timeout_pool) < _POOL_LIMIT \
+                            and refcount(event) == _UNREFERENCED:
+                        event._cb = None
+                        timeout_pool.append(event)
+                elif cls is _Call:
+                    event._fn()
+                else:
+                    cb = event._cb
+                    event._cb = _PROCESSED
+                    if cb is not None:
+                        if type(cb) is list:
+                            for callback in cb:
+                                callback(event)
+                        else:
+                            cb(event)
+                    if cls is Event \
+                            and len(event_pool) < _POOL_LIMIT \
+                            and refcount(event) == _UNREFERENCED:
+                        event._cb = None
+                        event_pool.append(event)
+                if self._halted is not None:
+                    error, self._halted = self._halted, None
+                    cause, self._halt_cause = self._halt_cause, None
+                    raise SimulationError(str(error)) from cause
+        finally:
+            self.events_processed += processed
         if until is not None:
-            self._now = until
-        return self._now
+            self.now = until
+        return self.now
 
     def run_process(self, generator: Generator[Event, Any, Any],
                     name: Optional[str] = None,
@@ -165,7 +302,7 @@ class Simulator:
         self.run(until=until)
         if not proc.triggered:
             raise SimulationError(
-                f"process {proc.name!r} did not finish by t={self._now}")
+                f"process {proc.name!r} did not finish by t={self.now}")
         if not proc.ok:
             raise proc.value
         return proc.value

@@ -5,10 +5,23 @@ An :class:`Event` is a one-shot occurrence with a value.  Processes (see
 hardware models trigger them.  The design follows the classic simulation
 pattern: triggering an event enqueues it on the simulator's agenda, and its
 callbacks run when the agenda reaches it.
+
+Hot-path notes.  Events are the engine's dominant allocation, so the
+internal callback store (``_cb``) is adaptive: ``None`` while no callback
+is registered, a bare callable for the overwhelmingly common single-waiter
+case, and a list only once a second waiter appears.  A dedicated
+``_PROCESSED`` sentinel marks the post-callback state (the public
+:attr:`Event.processed` / :attr:`Event.callbacks` views are unchanged).
+Agenda ordering packs ``(priority, sequence)`` into one integer key —
+``priority`` selects the high bit so urgent events still sort first at a
+timestamp, and the globally increasing sequence keeps FIFO tie-breaking —
+which preserves the ``(time, priority, seq)`` ordering contract bit for
+bit while halving the tuple comparisons per heap operation.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -16,6 +29,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 #: Sentinel marking an event that has not been triggered yet.
 PENDING = object()
+
+#: Sentinel stored in ``_cb`` once an event's callbacks have run.
+_PROCESSED = object()
+
+#: High bit of the packed agenda key: normal events carry it, urgent
+#: events do not, so urgent sorts first at equal timestamps.  The low 62
+#: bits hold the global FIFO sequence number.
+NORMAL_KEY = 1 << 62
 
 
 class Event:
@@ -26,13 +47,29 @@ class Event:
     triggered exactly once.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok")
+    __slots__ = ("sim", "_cb", "_value", "_ok")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._cb: Any = None
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
+
+    @property
+    def callbacks(self) -> Optional[list[Callable[["Event"], None]]]:
+        """Snapshot of the registered callbacks (None once processed).
+
+        Diagnostic view only — register through :meth:`add_callback`;
+        mutating the returned list has no effect.
+        """
+        cb = self._cb
+        if cb is _PROCESSED:
+            return None
+        if cb is None:
+            return []
+        if type(cb) is list:
+            return list(cb)
+        return [cb]
 
     @property
     def triggered(self) -> bool:
@@ -42,12 +79,12 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event's callbacks have been executed."""
-        return self.callbacks is None
+        return self._cb is _PROCESSED
 
     @property
     def ok(self) -> bool:
         """True if the event succeeded.  Only valid once triggered."""
-        if not self.triggered:
+        if self._value is PENDING:
             raise RuntimeError("event value not yet available")
         return bool(self._ok)
 
@@ -60,11 +97,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay=0)
+        sim = self.sim
+        heappush(sim._agenda,
+                 (sim.now, NORMAL_KEY | next(sim._sequence), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -74,11 +113,13 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self, delay=0)
+        sim = self.sim
+        heappush(sim._agenda,
+                 (sim.now, NORMAL_KEY | next(sim._sequence), self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -87,21 +128,37 @@ class Event:
         If the event has already been processed the callback runs
         immediately.
         """
-        if self.callbacks is None:
+        cb = self._cb
+        if cb is None:
+            self._cb = callback
+        elif cb is _PROCESSED:
             callback(self)
+        elif type(cb) is list:
+            cb.append(callback)
         else:
-            self.callbacks.append(callback)
+            self._cb = [cb, callback]
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
         """Remove a previously added callback (no-op if absent)."""
-        if self.callbacks is not None and callback in self.callbacks:
-            self.callbacks.remove(callback)
+        cb = self._cb
+        if type(cb) is list:
+            try:
+                cb.remove(callback)
+            except ValueError:
+                pass
+        elif cb is not None and cb is not _PROCESSED and cb == callback:
+            self._cb = None
 
     def _run_callbacks(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
-        if callbacks:
-            for callback in callbacks:
+        cb = self._cb
+        self._cb = _PROCESSED
+        if cb is None:
+            return
+        if type(cb) is list:
+            for callback in cb:
                 callback(self)
+        else:
+            cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "processed" if self.processed else (
@@ -110,18 +167,26 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    The single authoritative negative-delay check lives here (the agenda
+    itself trusts its callers), and the engine keeps a free list of
+    processed, unreferenced Timeouts — see
+    :meth:`repro.sim.engine.Simulator.timeout`.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        self.sim = sim
+        self._cb = None
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay=delay)
+        self.delay = delay
+        heappush(sim._agenda,
+                 (sim.now + delay, NORMAL_KEY | next(sim._sequence), self))
 
 
 class Condition(Event):

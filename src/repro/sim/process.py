@@ -6,13 +6,20 @@ until the event fires, at which point the event's value is sent back into
 the generator (or its exception raised there).  A process is itself an
 event that fires with the generator's return value, so processes can wait
 on each other.
+
+Hot-path notes: a process resumes once per yield, so :meth:`Process._resume`
+is one of the engine's hottest functions.  The bound resume method is
+created once (``_on_fire``) instead of per wait, bootstrap/resume carrier
+events come from the simulator's free list via
+:meth:`~repro.sim.engine.Simulator._carrier`, and the single-waiter
+callback representation avoids a list allocation per awaited event.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from .events import Event
+from .events import PENDING, _PROCESSED, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Simulator
@@ -48,7 +55,7 @@ class Process(Event):
     the generator raises.
     """
 
-    __slots__ = ("name", "_generator", "_waiting_on")
+    __slots__ = ("name", "_generator", "_waiting_on", "_on_fire")
 
     def __init__(self, sim: "Simulator",
                  generator: Generator[Event, Any, Any],
@@ -56,16 +63,16 @@ class Process(Event):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process body must be a generator, got "
                             f"{type(generator).__name__}")
-        super().__init__(sim)
+        self.sim = sim
+        self._cb = None
+        self._value = PENDING
+        self._ok = None
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
-        bootstrap = Event(sim)
-        bootstrap._ok = True
-        bootstrap._value = None
-        bootstrap.callbacks.append(self._resume)
-        sim._enqueue(bootstrap, delay=0)
-        self._waiting_on = bootstrap
+        #: The one bound resume callback reused for every wait.
+        self._on_fire = self._resume
+        self._waiting_on: Optional[Event] = sim._carrier(
+            True, None, self._on_fire)
 
     @property
     def is_alive(self) -> bool:
@@ -79,69 +86,68 @@ class Process(Event):
         that is not waiting (e.g. it is scheduled to run at this instant)
         delivers the interrupt before its next resumption.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"cannot interrupt finished process {self.name}")
         target = self._waiting_on
-        if target is not None and target.callbacks is not None:
-            target.remove_callback(self._resume)
-        self._waiting_on = None
-        carrier = Event(self.sim)
-        carrier._ok = False
-        carrier._value = Interrupt(cause)
-        carrier.callbacks.append(self._resume)
-        self.sim._enqueue(carrier, delay=0, urgent=True)
-        self._waiting_on = carrier
+        if target is not None and target._cb is not _PROCESSED:
+            target.remove_callback(self._on_fire)
+        self._waiting_on = self.sim._carrier(
+            False, Interrupt(cause), self._on_fire, urgent=True)
 
     def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
+        sim = self.sim
         self._waiting_on = None
-        self.sim._active_process = self
+        sim._active_process = self
         try:
             if trigger._ok:
                 target = self._generator.send(trigger._value)
             else:
                 target = self._generator.throw(trigger._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except Interrupt as interrupt:
             # An unhandled interrupt terminates the process quietly with
             # the interrupt cause as its value, mirroring thread kill.
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(interrupt.cause)
             return
         except BaseException as error:
-            self.sim._active_process = None
+            sim._active_process = None
             if isinstance(error, (KeyboardInterrupt, SystemExit)):
                 raise
             self._crash(error)
             return
-        self.sim._active_process = None
+        sim._active_process = None
         if not isinstance(target, Event):
             self._crash(TypeError(
                 f"process {self.name!r} yielded {target!r}, expected Event"))
             return
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             self._crash(ValueError(
                 f"process {self.name!r} yielded event of another simulator"))
             return
-        if target.processed:
+        cb = target._cb
+        if cb is _PROCESSED:
             # Already-processed events resume the process on the next step.
-            carrier = Event(self.sim)
-            carrier._ok = target._ok
-            carrier._value = target._value
-            carrier.callbacks.append(self._resume)
-            self.sim._enqueue(carrier, delay=0)
-            self._waiting_on = carrier
+            self._waiting_on = sim._carrier(
+                target._ok, target._value, self._on_fire)
         else:
-            target.add_callback(self._resume)
+            # Inlined Event.add_callback (the target is not processed).
+            if cb is None:
+                target._cb = self._on_fire
+            elif type(cb) is list:
+                cb.append(self._on_fire)
+            else:
+                target._cb = [cb, self._on_fire]
             self._waiting_on = target
 
     def _crash(self, error: BaseException) -> None:
         self._generator.close()
-        if self.callbacks:
+        if self._cb is not None:
             # Someone is waiting on this process: propagate to them.
             self.fail(error)
         else:
@@ -151,7 +157,7 @@ class Process(Event):
             # Mark triggered so is_alive is False after a crash.
             self._ok = False
             self._value = error
-            self.callbacks = None
+            self._cb = _PROCESSED
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.triggered else "alive"

@@ -49,7 +49,15 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Event that fires (with ``item``) once the item is stored."""
-        event = Event(self.sim)
+        event = self.sim.event()
+        if not self._putters and len(self.items) < self.capacity:
+            # Fast path: room available, FIFO preserved (no queued putter
+            # to overtake).  Identical event ordering to _service().
+            self.items.append(item)
+            event.succeed(item)
+            if self._getters:
+                self._service()
+            return event
         self._putters.append((event, item))
         self._service()
         return event
@@ -64,7 +72,13 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the oldest item once one is available."""
-        event = Event(self.sim)
+        event = self.sim.event()
+        if self.items and not self._getters:
+            # Fast path: an item is ready and no earlier getter waits.
+            event.succeed(self.items.popleft())
+            if self._putters:
+                self._service()
+            return event
         self._getters.append(event)
         self._service()
         return event
@@ -122,7 +136,7 @@ class Container:
         if amount > self.capacity:
             raise ValueError(f"put of {amount} exceeds capacity "
                              f"{self.capacity}")
-        event = Event(self.sim)
+        event = self.sim.event()
         self._putters.append((event, amount))
         self._service()
         return event
@@ -130,7 +144,7 @@ class Container:
     def get(self, amount: int) -> Event:
         if amount <= 0:
             raise ValueError(f"get amount must be positive, got {amount}")
-        event = Event(self.sim)
+        event = self.sim.event()
         self._getters.append((event, amount))
         self._service()
         return event
@@ -178,7 +192,7 @@ class Resource:
         """Request a slot.  ``priority=True`` jumps the wait queue
         (used for interrupt-context work that must preempt thread-level
         work at the next quantum boundary)."""
-        event = Event(self.sim)
+        event = self.sim.event()
         if self.in_use < self.capacity and not self._waiters:
             self.in_use += 1
             event.succeed()
@@ -214,7 +228,7 @@ class Broadcast:
         return len(self._waiters)
 
     def wait(self) -> Event:
-        event = Event(self.sim)
+        event = self.sim.event()
         self._waiters.append(event)
         return event
 

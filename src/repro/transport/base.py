@@ -48,18 +48,24 @@ def message_size(data: Optional[bytes], size: Optional[int]) -> int:
 
 def slice_data(data: Optional[bytes], size: int,
                max_fragment: int) -> list[tuple[int, Optional[bytes]]]:
-    """Split a message body into fragment (size, bytes) pairs."""
+    """Split a message body into fragment (size, bytes-like) pairs.
+
+    Zero-copy: a message that fits one fragment passes ``data`` through
+    unchanged, and larger bodies are sliced as :class:`memoryview` windows
+    over the original bytes (reassembly joins them back into ``bytes``).
+    """
     if size < 0:
         raise TransportError(f"negative message size {size}")
     if size == 0:
         return [(0, b"" if data is not None else None)]
+    if size <= max_fragment:
+        return [(size, data)]
+    view = memoryview(data) if data is not None else None
     fragments = []
-    offset = 0
-    while offset < size:
+    for offset in range(0, size, max_fragment):
         length = min(max_fragment, size - offset)
-        chunk = data[offset:offset + length] if data is not None else None
+        chunk = view[offset:offset + length] if view is not None else None
         fragments.append((length, chunk))
-        offset += length
     return fragments
 
 
@@ -352,9 +358,9 @@ class TransportManager:
         fragments = slice_data(data, size, max_fragment)
         nfrags = len(fragments)
         for index, (frag_size, chunk) in enumerate(fragments):
-            header = dict(base_header)
-            header.update(msg_id=msg_id, frag=index, nfrags=nfrags,
-                          total_size=size, src=self.cab.name)
+            header = {**base_header, "msg_id": msg_id, "frag": index,
+                      "nfrags": nfrags, "total_size": size,
+                      "src": self.cab.name}
             payload = Payload(frag_size, data=chunk, header=header)
             yield from self.kernel.compute(
                 t_cfg.send_packet_cpu_ns + extra_cpu_ns)

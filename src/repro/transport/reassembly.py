@@ -26,7 +26,18 @@ class PartialMessage:
         self.fragments[index] = payload
 
     def assemble(self) -> tuple[int, Optional[bytes]]:
-        """Total size plus the joined bytes (None for synthetic payloads)."""
+        """Total size plus the joined bytes (None for synthetic payloads).
+
+        Fragments carry :class:`memoryview` windows over the sender's
+        message (see :func:`repro.transport.base.slice_data`); the single
+        join here is the receive path's only copy, and a single-fragment
+        message is handed back without any copy at all.
+        """
+        if self.nfrags == 1:
+            data = self.fragments[0].data
+            if data is None or type(data) is bytes:
+                return self.total_size, data
+            return self.total_size, bytes(data)
         chunks = []
         for index in range(self.nfrags):
             payload = self.fragments[index]

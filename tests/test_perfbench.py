@@ -1,0 +1,91 @@
+"""The perf harness's correctness contract.
+
+Speed work is only admissible if behaviour is bit-identical, so these
+tests pin three things:
+
+* **Golden timelines** — the full traced event interleaving of two macro
+  scenarios, captured on the pre-optimization engine and checked in.
+  Any reordering, gain or loss of an agenda entry shows up here.
+* **Determinism** — running a scenario twice produces the same digest
+  (the property ``run_scenario(repeat=...)`` enforces at measurement
+  time, and CI's perf-smoke job asserts across processes).
+* **The disabled-tracing hot path** — a disabled tracer records nothing
+  and the counters still advance (the ``trace-disabled`` scenario then
+  measures that this costs one attribute check per emission).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.config import NectarConfig
+from repro.hardware import Hub
+from repro.perfbench import (SCENARIOS, SMOKE_SCENARIOS, capture_timeline,
+                             run_scenario)
+from repro.sim import Simulator, Tracer
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+GOLDEN = sorted(path.stem.replace("golden_timeline_", "")
+                for path in DATA.glob("golden_timeline_*.json"))
+
+
+class TestGoldenTimelines:
+    def test_goldens_exist(self):
+        assert GOLDEN, "no golden timeline captures checked in"
+
+    @pytest.mark.parametrize("name", GOLDEN)
+    def test_timeline_matches_pre_optimization_capture(self, name):
+        """The optimized engine replays the exact pre-optimization
+        interleaving: same events, same order, same timestamps."""
+        document = json.loads(
+            (DATA / f"golden_timeline_{name}.json").read_text())
+        golden = [tuple(record) for record in document["records"]]
+        current = [(time, source, kind)
+                   for time, source, kind in capture_timeline(name)]
+        assert len(current) == len(golden), (
+            f"{name}: {len(current)} traced events, golden has {len(golden)}")
+        assert current == golden
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", SMOKE_SCENARIOS)
+    def test_repeat_runs_share_a_digest(self, name):
+        first = run_scenario(name, repeat=1)
+        second = run_scenario(name, repeat=1)
+        assert first.digest == second.digest
+        assert first.events == second.events
+        assert first.sim_ns == second.sim_ns
+
+    def test_wire_integrity_delivers_every_message(self):
+        result = run_scenario("wire-integrity", repeat=1)
+        delivered = result.fingerprint["delivered"]
+        assert sorted(delivered) == ["cab0", "cab1", "cab2", "cab3"]
+        # Every receiver's hash covers all 14 messages addressed to it —
+        # a lost, corrupted or reordered-by-sender fragment changes it.
+        assert all(len(digest) == 64 for digest in delivered.values())
+        repeat = run_scenario("wire-integrity", repeat=1)
+        assert repeat.fingerprint == result.fingerprint
+
+    def test_all_scenarios_are_registered_with_descriptions(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.description
+
+
+class TestDisabledTracing:
+    def test_disabled_tracer_records_nothing(self):
+        cfg = NectarConfig(seed=1989)
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=False)
+        hub = Hub(sim, "hub0", cfg.hub, cfg.fiber, tracer=tracer)
+        for _ in range(100):
+            hub.count("probe")
+        assert tracer.records == []
+        assert hub.counters["probe"] == 100
+
+    def test_trace_disabled_scenario_reports_zero_records(self):
+        result = run_scenario("trace-disabled", repeat=1)
+        assert result.fingerprint["records"] == 0
+        assert result.fingerprint["counter"] == result.fingerprint["emissions"]

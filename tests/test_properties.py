@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) on core invariants."""
 
+import random
 from dataclasses import replace
 
 import pytest
@@ -62,10 +63,36 @@ class TestFragmentation:
         assert (total, joined) == (len(data), data)
 
 
+def fletcher16_per_byte(data: bytes) -> int:
+    """The classic per-byte Fletcher-16 recurrence (reference only).
+
+    The production :func:`fletcher16` is the blocked deferred-modulo
+    form; this is the textbook loop it must match bit for bit.
+    """
+    low = high = 0
+    for byte in data:
+        low = (low + byte) % 255
+        high = (high + low) % 255
+    return (high << 8) | low
+
+
 class TestChecksumProperties:
     @given(st.binary(max_size=2000))
     def test_checksum_fits_16_bits(self, data):
         assert 0 <= fletcher16(data) <= 0xFFFF
+
+    @given(st.binary(max_size=4096))
+    def test_blocked_form_matches_per_byte_reference(self, data):
+        assert fletcher16(data) == fletcher16_per_byte(data)
+
+    def test_blocked_form_across_block_boundaries(self):
+        """Deferred modulo must survive the block seam exactly."""
+        from repro.hardware.frames import _FLETCHER_BLOCK
+        rng = random.Random(1989)
+        for size in (_FLETCHER_BLOCK - 1, _FLETCHER_BLOCK,
+                     _FLETCHER_BLOCK + 1, 2 * _FLETCHER_BLOCK + 7):
+            data = rng.randbytes(size)
+            assert fletcher16(data) == fletcher16_per_byte(data), size
 
     @given(st.binary(min_size=1, max_size=500),
            st.integers(min_value=0, max_value=499),

@@ -123,9 +123,78 @@ class TestEvents:
         sim.run()
         assert seen == []
 
+    def test_remove_callback_absent_is_noop(self, sim):
+        """Removing a never-added callback must not disturb the others."""
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda ev: seen.append("kept"))
+        event.remove_callback(lambda ev: seen.append("other"))
+        event.succeed()
+        sim.run()
+        assert seen == ["kept"]
+
+    def test_remove_callback_with_none_registered(self, sim):
+        event = sim.event()
+        event.remove_callback(lambda ev: None)  # must not raise
+        event.succeed()
+        sim.run()
+        assert event.processed
+
+    def test_remove_callback_after_processed_is_noop(self, sim):
+        event = sim.event()
+        cb = lambda ev: None
+        event.add_callback(cb)
+        event.succeed()
+        sim.run()
+        event.remove_callback(cb)  # must not raise
+        assert event.processed
+
+    def test_remove_one_of_several_callbacks(self, sim):
+        event = sim.event()
+        seen = []
+        keep = lambda ev: seen.append("keep")
+        drop = lambda ev: seen.append("drop")
+        event.add_callback(keep)
+        event.add_callback(drop)
+        event.remove_callback(drop)
+        event.succeed()
+        sim.run()
+        assert seen == ["keep"]
+
+    def test_remove_equal_bound_method(self, sim):
+        """Bound methods compare by equality, not identity — a fresh
+        ``obj.method`` reference must still remove the registration."""
+        class Waiter:
+            def __init__(self):
+                self.calls = 0
+
+            def on_event(self, event):
+                self.calls += 1
+
+        waiter = Waiter()
+        event = sim.event()
+        event.add_callback(waiter.on_event)
+        event.remove_callback(waiter.on_event)
+        event.succeed()
+        sim.run()
+        assert waiter.calls == 0
+
     def test_negative_timeout_raises(self, sim):
         with pytest.raises(ValueError):
             sim.timeout(-1)
+
+    def test_negative_timeout_message_pinned(self, sim):
+        """One authoritative check, one message — fresh-allocation path."""
+        with pytest.raises(ValueError, match=r"^negative timeout delay -7$"):
+            sim.timeout(-7)
+
+    def test_negative_timeout_message_pinned_on_pool_hit(self, sim):
+        """The free-list fast path must validate identically."""
+        sim.timeout(0)
+        sim.run()
+        assert sim._timeout_pool, "expected a recycled Timeout on the pool"
+        with pytest.raises(ValueError, match=r"^negative timeout delay -7$"):
+            sim.timeout(-7)
 
     def test_timeout_carries_value(self, sim):
         timeout = sim.timeout(10, value="done")
@@ -176,6 +245,36 @@ class TestConditions:
         other = Simulator()
         with pytest.raises(ValueError):
             sim.all_of([other.timeout(1)])
+
+    def test_empty_any_of_fires_immediately(self, sim):
+        empty = sim.any_of([])
+        sim.run()
+        assert empty.ok
+        assert empty.value == {}
+
+    def test_subevent_failing_after_fire_does_not_refail(self, sim):
+        """A late failure in a losing sub-event leaves the already-fired
+        condition untouched."""
+        winner = sim.event()
+        loser = sim.event()
+        race = sim.any_of([winner, loser])
+        winner.succeed("first")
+        sim.run()
+        assert race.ok
+        assert race.value == {winner: "first"}
+        loser.fail(RuntimeError("late loser"))
+        sim.run()
+        assert race.ok
+        assert race.value == {winner: "first"}
+
+    def test_any_of_value_excludes_untriggered_events(self, sim):
+        fast = sim.timeout(10, value="fast")
+        never = sim.event()
+        race = sim.any_of([fast, never])
+        sim.run(until=100)
+        assert race.ok
+        assert race.value == {fast: "fast"}
+        assert never not in race.value
 
 
 class TestRunProcess:
