@@ -13,6 +13,10 @@
 * ``python -m repro resilience [campaign]`` — three-way clean/healed/
   unhealed comparison on the dual-link topology: failure detection,
   rerouting and recovery in action (``docs/RESILIENCE.md``).
+* ``python -m repro collectives`` — E-COL comparison of HUB-offloaded
+  versus software-tree versus dimension-exchange collectives under
+  hotspot contention (``docs/COLLECTIVES.md``); output is
+  deterministic, so CI diffs two runs.
 * ``python -m repro bench`` — engine wall-clock benchmark: events/sec
   on the fixed-seed scenarios of :mod:`repro.perfbench`, written to
   ``BENCH_engine.json`` (render/compare with ``tools/perf_report.py``;
@@ -318,6 +322,45 @@ def run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_collectives(args: argparse.Namespace) -> int:
+    """Three-way E-COL comparison: HUB offload vs software trees.
+
+    Output is fully deterministic (simulated clocks and digests only,
+    never wall time) — the CI collectives job runs it twice and diffs.
+    """
+    from .perfbench import run_scenario
+
+    names = {"hub": "collective-hub", "tree": "collective-tree",
+             "exchange": "collective-exchange"}
+    print("in-network collectives (seed 1989): 12 rounds of "
+          "allreduce + barrier across 8 ranks on one HUB,")
+    print("with the 7 non-root CABs aiming 512 B hotspot noise at cab0")
+    print()
+    print(f"{'mode':10s} {'finish':>11s} {'per round':>11s}  digest")
+    finishes = {}
+    fingerprints = {}
+    for mode, name in names.items():
+        result = run_scenario(name, repeat=args.repeat)
+        finish_ns = result.fingerprint["finish_ns"]
+        finishes[mode] = finish_ns
+        fingerprints[mode] = result.fingerprint
+        per_round_us = units.to_us(finish_ns) / 12
+        print(f"{mode:10s} {units.to_us(finish_ns) / 1000:8.3f} ms "
+              f"{per_round_us:8.1f} µs  {result.digest[:16]}")
+    print()
+    hub_counters = fingerprints["hub"]["hub_counters"]["hub0"]
+    combining = {key: value for key, value in sorted(hub_counters.items())
+                 if key.startswith("collective.")}
+    print("HUB combining unit (hub mode): "
+          + ", ".join(f"{key.split('.', 1)[1]}={value}"
+                      for key, value in combining.items()))
+    print(f"speedup, HUB offload over dimension exchange: "
+          f"{finishes['exchange'] / finishes['hub']:.2f}x")
+    print(f"speedup, HUB offload over software tree:      "
+          f"{finishes['tree'] / finishes['hub']:.2f}x")
+    return 0
+
+
 def run_faults(args: argparse.Namespace) -> int:
     from .faults import build_campaign, run_comparison
     from .topology import single_hub_system
@@ -550,6 +593,16 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--seed", type=int, default=1989,
                          help="config seed; same seed, same trace")
     observe.set_defaults(func=run_observe)
+
+    collectives = commands.add_parser(
+        "collectives",
+        help="E-COL: HUB-offloaded vs software collectives under "
+             "hotspot contention (deterministic output)")
+    collectives.add_argument(
+        "--repeat", type=int, default=1,
+        help="runs per mode; digests must agree across repeats "
+             "(default: 1)")
+    collectives.set_defaults(func=run_collectives)
 
     from .perfbench import SCENARIOS as BENCH_SCENARIOS
     bench = commands.add_parser(

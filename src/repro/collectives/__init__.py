@@ -1,0 +1,15 @@
+"""repro.collectives: HUB-offloaded and software collective operations.
+
+The HUB's central controller gains combining primitives (fetch-and-add,
+barrier, reduce — see :mod:`repro.hardware.hub_collectives`);
+:class:`CollectiveGroup` plans reduction/broadcast trees over the HUB
+mesh and exposes ``barrier``/``allreduce``/``broadcast``/``scatter``/
+``gather``/``allgather``/``fetch_add`` over Nectarine tasks, with a
+pure-software k-ary tree fallback for any rank count and placement.
+See ``docs/COLLECTIVES.md``.
+"""
+
+from .group import CollectiveGroup
+from .tree import tree_children, tree_depth, tree_parent
+
+__all__ = ["CollectiveGroup", "tree_children", "tree_depth", "tree_parent"]

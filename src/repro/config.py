@@ -242,6 +242,30 @@ class ResilienceConfig:
 
 
 @dataclass
+class CollectiveConfig:
+    """Collective-operation parameters (``repro.collectives``).
+
+    The HUB-offloaded path combines at controller rate; the software
+    paths exist as the portable baseline (``tree``) and as the classic
+    hypercube algorithm the iPSC library shipped with (``exchange``,
+    power-of-two rank counts only).
+    """
+
+    #: Default execution mode: ``hub`` (in-network combining),
+    #: ``tree`` (software k-ary tree over datagrams), or ``exchange``
+    #: (software dimension exchange; falls back to ``tree`` for
+    #: non-power-of-two groups).
+    mode: str = "hub"
+    #: Arity of the software trees (and of scatter/gather fan-out).
+    fanout: int = 4
+    #: Deadline for a HUB collective reply before CollectiveError.
+    #: Generous: a barrier legitimately waits for its slowest member.
+    reply_timeout_ns: int = 50_000_000
+    #: Deadline for one software-tree receive before CollectiveError.
+    software_timeout_ns: int = 50_000_000
+
+
+@dataclass
 class NodeConfig:
     """Node host (Sun-3/4 class UNIX machine) cost model (§6.2.3).
 
@@ -313,6 +337,7 @@ class NectarConfig:
     datalink: DatalinkConfig = field(default_factory=DatalinkConfig)
     transport: TransportConfig = field(default_factory=TransportConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    collectives: CollectiveConfig = field(default_factory=CollectiveConfig)
     node: NodeConfig = field(default_factory=NodeConfig)
     lan: LanConfig = field(default_factory=LanConfig)
     #: Seed for all stochastic elements (fault injection, backoff jitter).
@@ -381,6 +406,15 @@ class NectarConfig:
                 "resilience dead threshold must be >= suspect threshold")
         if res.heartbeat_fanout < 0:
             raise ConfigError("heartbeat fanout must be >= 0 (0 = all)")
+        coll = self.collectives
+        if coll.mode not in ("hub", "tree", "exchange"):
+            raise ConfigError(
+                f"collective mode must be hub/tree/exchange, "
+                f"got {coll.mode!r}")
+        if coll.fanout < 2:
+            raise ConfigError("collective tree fanout must be >= 2")
+        if coll.reply_timeout_ns <= 0 or coll.software_timeout_ns <= 0:
+            raise ConfigError("collective timeouts must be positive")
 
     def rng_stream(self, name: str = "") -> random.Random:
         """An independent, deterministic RNG stream derived from the seed.
@@ -404,6 +438,7 @@ class NectarConfig:
             "hub": self.hub, "fiber": self.fiber, "cab": self.cab,
             "kernel": self.kernel, "datalink": self.datalink,
             "transport": self.transport, "resilience": self.resilience,
+            "collectives": self.collectives,
             "node": self.node, "lan": self.lan,
             "seed": self.seed,
         }
@@ -437,6 +472,7 @@ def vlsi_config() -> NectarConfig:
 
 __all__ = [
     "CabConfig",
+    "CollectiveConfig",
     "DatalinkConfig",
     "FiberConfig",
     "HubConfig",

@@ -19,12 +19,13 @@ Send modes:
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from collections import defaultdict
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..config import NectarConfig
-from ..errors import DatalinkError
+from ..errors import CollectiveError, DatalinkError
 from ..hardware.frames import HubCommand, Packet, Payload
 from ..hardware.hub_commands import CommandOp
 from ..sim import Resource
@@ -230,10 +231,20 @@ class Datalink:
 
     def multicast(self, dst_cabs: list[str], payload: Payload,
                   mode: str = "auto"):
-        """Send one payload to several CABs over a multicast tree."""
+        """Send one payload to several CABs over a multicast tree.
+
+        Command lists are consumed head-first as the packet passes each
+        HUB, and every opened branch receives the *identical* remaining
+        byte stream — so one packet can only open a linear chain of HUBs
+        with leaf taps (the shape of the paper's Figure 7 example).
+        Destinations whose routes branch into sibling HUB subtrees are
+        partitioned into prefix-chain groups and sent as one multicast
+        packet per group.
+        """
         if mode == "auto":
             mode = "packet" if self.packet_fits(payload.size) else "circuit"
-        edges = self.router.multicast_edges(self.cab.name, dst_cabs)
+        edge_groups = [self.router.multicast_edges(self.cab.name, group)
+                       for group in self._chain_groups(dst_cabs)]
         yield from self.kernel.compute(self.cfg.datalink.send_overhead_ns)
         self.cab.checksum.seal(payload)
         checksum_cost = self.cab.checksum.cost_ns(payload.size)
@@ -242,12 +253,41 @@ class Datalink:
         grant = self._port_lock.acquire()
         yield grant
         try:
-            if mode == "packet":
-                yield from self._multicast_packet(edges, payload)
-            else:
-                yield from self._multicast_circuit(edges, payload)
+            for index, edges in enumerate(edge_groups):
+                body = payload if index == 0 else dataclasses.replace(payload)
+                if mode == "packet":
+                    yield from self._multicast_packet(edges, body)
+                else:
+                    yield from self._multicast_circuit(edges, body)
         finally:
             self._port_lock.release()
+
+    def _chain_groups(self, dst_cabs: list[str]) -> list[list[str]]:
+        """Partition destinations into groups with linear HUB chains.
+
+        Lexicographically sorted hub paths put prefix-related chains
+        next to each other; a group grows while each new path extends
+        the group's longest chain, and breaks at the first divergence.
+        Destinations on a single shared HUB (the common case) and the
+        Figure 7 shape stay a single group, preserving one-packet
+        multicast for them.
+        """
+        src_hub = self.cab.hub_port.hub
+        keyed = []
+        for dst in dst_cabs:
+            dst_hub, _port = self.router.cab_location(dst)
+            keyed.append((tuple(self.router.hub_path(src_hub.name,
+                                                     dst_hub.name)), dst))
+        keyed.sort(key=lambda item: item[0])
+        groups: list[list[str]] = []
+        longest: Optional[tuple] = None
+        for chain, dst in keyed:
+            if longest is not None and chain[:len(longest)] == longest:
+                groups[-1].append(dst)
+            else:
+                groups.append([dst])
+            longest = chain
+        return groups
 
     def _multicast_packet(self, edges: list[TreeEdge], payload: Payload):
         commands = [self._command(CommandOp.TEST_OPEN_RETRY,
@@ -358,6 +398,86 @@ class Datalink:
             self.cab.cancel_reply(command.seq)
             raise DatalinkError(f"no reply to {op.name} from {hub.name}")
         return reply
+
+    # ------------------------------------------------------------------
+    # in-network collectives (repro.collectives)
+    # ------------------------------------------------------------------
+
+    def collective_command(self, op: CommandOp, param: int = 0,
+                           arg: Optional[dict] = None,
+                           timeout_ns: Optional[int] = None):
+        """Issue one collective command to our attached HUB (generator).
+
+        Returns the unit's reply.  Unlike :meth:`query_first_hop` the
+        reply may arrive much later (a barrier waits for its whole
+        group), so the deadline comes from ``cfg.collectives``; on
+        timeout this raises :class:`CollectiveError` — a collective
+        never hangs.
+        """
+        hub = self.cab.hub_port.hub
+        command = self._command(op, hub.name, param)
+        command.arg = arg
+        reply_event = self.cab.expect_reply(command.seq)
+        packet = self._packet([command], None, close_after=False)
+        self.counters["collective_commands_sent"] += 1
+        yield from self.cab.dma.send_packet(packet)
+        reply = yield from self._await_reply(
+            reply_event,
+            timeout_ns or self.cfg.collectives.reply_timeout_ns)
+        if reply is None:
+            self.cab.cancel_reply(command.seq)
+            self.counters["collective_reply_timeouts"] += 1
+            raise CollectiveError(
+                f"{self.cab.name}: no reply to {op.name} "
+                f"group/reg {param} from {hub.name}")
+        return reply
+
+    def collective_command_at(self, target_hub_name: str,
+                              op: CommandOp, param: int = 0,
+                              arg: Optional[dict] = None,
+                              timeout_ns: Optional[int] = None):
+        """Issue one collective command to a *remote* HUB (generator).
+
+        Opens a circuit along the inter-HUB path (first parallel link at
+        each hop), sends the command with the circuit held so the reply
+        can cycle-steal back over the reverse fibers, then tears the
+        circuit down with a travelling ``close all``.  Used for
+        fetch-and-add on a register homed on another HUB; barrier and
+        reduce instead reach remote HUBs through their reduction tree.
+        """
+        local_hub = self.cab.hub_port.hub
+        hubs = self.router.hub_path(local_hub.name, target_hub_name)
+        yield from self.kernel.compute(self.cfg.datalink.send_overhead_ns)
+        grant = self._port_lock.acquire()
+        yield grant
+        try:
+            commands = []
+            for here, there in zip(hubs, hubs[1:]):
+                port_a, _ = self.router.parallel_links(here, there)[0]
+                commands.append(self._command(CommandOp.OPEN_RETRY,
+                                              here, port_a))
+            command = self._command(op, target_hub_name, param)
+            command.arg = arg
+            commands.append(command)
+            reply_event = self.cab.expect_reply(command.seq)
+            packet = self._packet(commands, None, close_after=False)
+            self.counters["collective_commands_sent"] += 1
+            yield from self.cab.dma.send_packet(packet)
+            reply = yield from self._await_reply(
+                reply_event,
+                timeout_ns or self.cfg.collectives.reply_timeout_ns)
+            if reply is None:
+                self.cab.cancel_reply(command.seq)
+                self.counters["collective_reply_timeouts"] += 1
+            if len(hubs) > 1:
+                yield from self.close_route()
+            if reply is None:
+                raise CollectiveError(
+                    f"{self.cab.name}: no reply to {op.name} "
+                    f"group/reg {param} from {target_hub_name}")
+            return reply
+        finally:
+            self._port_lock.release()
 
     # ------------------------------------------------------------------
     # receive path (interrupt context)

@@ -6,7 +6,7 @@ __all__ = [
     "NectarError", "ConfigError", "TopologyError", "RouteError",
     "HubCommandError", "DatalinkError", "TransportError", "ChecksumError",
     "MailboxError", "ProtectionFault", "AllocationError", "NodeError",
-    "NectarineError", "WorkloadError", "ObserveError"
+    "NectarineError", "WorkloadError", "ObserveError", "CollectiveError"
 ]
 
 
@@ -68,3 +68,7 @@ class WorkloadError(NectarError):
 
 class ObserveError(NectarError):
     """Invalid observability operation (duplicate metric, bad probe)."""
+
+
+class CollectiveError(NectarError):
+    """A collective operation failed or timed out (never hangs)."""

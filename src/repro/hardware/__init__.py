@@ -7,10 +7,13 @@ from .checksum import ChecksumUnit, raw_checksum
 from .crossbar import Crossbar
 from .dma import DmaController
 from .fiber import DuplexFiber, Fiber
-from .frames import HubCommand, Packet, Payload, Reply, fletcher16
+from .frames import (COLLECTIVE_ARG_BYTES, HubCommand, Packet, Payload,
+                     Reply, fletcher16)
 from .hub import HARDWARE_VERSION, Hub
-from .hub_commands import (CommandOp, has_retry, is_open, is_supervisor,
-                           is_test_open, needs_controller, wants_reply)
+from .hub_collectives import REDUCE_OPS, HubCollectiveUnit
+from .hub_commands import (CommandOp, has_retry, is_collective, is_open,
+                           is_supervisor, is_test_open, needs_controller,
+                           wants_reply)
 from .hub_controller import HubController
 from .hub_port import HubPort
 from .instrumentation import InstrumentationBoard
@@ -23,15 +26,18 @@ from .vme import VmeBus
 from .wiring import wire_cab_to_hub, wire_hub_to_hub
 
 __all__ = [
-    "ALL_ACCESS", "CAB_BOARD", "EXECUTE", "HUB_BACKPLANE", "HUB_IO_BOARD",
-    "KERNEL_DOMAIN", "READ", "WRITE", "BoardSpec",
+    "ALL_ACCESS", "CAB_BOARD", "COLLECTIVE_ARG_BYTES", "EXECUTE",
+    "HUB_BACKPLANE", "HUB_IO_BOARD",
+    "KERNEL_DOMAIN", "READ", "REDUCE_OPS", "WRITE", "BoardSpec",
     "BandwidthPool", "CabBoard", "CabCpu", "ChecksumUnit", "CommandOp",
     "Crossbar", "DmaController", "DuplexFiber", "Fiber", "HARDWARE_VERSION",
-    "HardwareTimers", "Hub", "HubCommand", "HubController", "HubPort",
+    "HardwareTimers", "Hub", "HubCollectiveUnit", "HubCommand",
+    "HubController", "HubPort",
     "InstrumentationBoard",
     "MemoryBlock", "MemoryRegion", "NodeHost", "Packet", "Payload",
     "ProtectionUnit",
-    "Reply", "TimerHandle", "VmeBus", "fletcher16", "has_retry", "is_open",
+    "Reply", "TimerHandle", "VmeBus", "fletcher16", "has_retry",
+    "is_collective", "is_open",
     "is_supervisor", "is_test_open", "needs_controller", "raw_checksum",
     "wants_reply", "wire_cab_to_hub", "wire_hub_to_hub",
     "hub_bill_of_materials", "system_bill_of_materials",

@@ -109,9 +109,21 @@ class Payload:
         return self.checksum == self.compute_checksum()
 
 
+#: Wire bytes charged for the optional argument extension a collective
+#: command carries (epoch / combining operand words).  Plain commands
+#: stay exactly 3 bytes, so pre-existing timings are untouched.
+COLLECTIVE_ARG_BYTES = 8
+
+
 @dataclass(slots=True)
 class HubCommand:
-    """One 3-byte HUB command: ``(op, hub, param)`` (§4.2)."""
+    """One 3-byte HUB command: ``(op, hub, param)`` (§4.2).
+
+    Collective commands (``repro.collectives``) additionally carry a
+    small structured ``arg`` — the combining operand, epoch, and tree
+    spec — charged as :data:`COLLECTIVE_ARG_BYTES` extension bytes on
+    the wire.
+    """
 
     op: CommandOp
     hub_id: str
@@ -119,6 +131,14 @@ class HubCommand:
     seq: int = field(default_factory=lambda: next(_command_seqs))
     #: Name of the CAB that issued the command (for reply delivery).
     origin: Optional[str] = None
+    #: Collective argument extension (None for ordinary commands).
+    arg: Optional[dict] = None
+
+    def wire_bytes(self, command_bytes: int) -> int:
+        """Bytes this command occupies on the fiber."""
+        if self.arg is not None:
+            return command_bytes + COLLECTIVE_ARG_BYTES
+        return command_bytes
 
     def __repr__(self) -> str:
         return f"<{self.op.name} {self.hub_id} p={self.param} #{self.seq}>"
@@ -177,6 +197,9 @@ class Packet:
     def wire_size(self) -> int:
         """Bytes this packet occupies on a fiber *from here onward*."""
         size = len(self.commands) * self.command_bytes
+        for command in self.commands:
+            if command.arg is not None:
+                size += COLLECTIVE_ARG_BYTES
         if self.payload is not None:
             size += (self.framing_bytes + self.meta.get("header_bytes", 0)
                      + self.payload.size)

@@ -16,6 +16,7 @@ from ..errors import HubCommandError
 from ..sim import Broadcast, Simulator
 from .crossbar import Crossbar
 from .frames import HubCommand, Reply
+from .hub_collectives import HubCollectiveUnit
 from .hub_commands import (CommandOp, is_supervisor, needs_controller,
                            wants_reply)
 from .hub_controller import HubController
@@ -43,6 +44,8 @@ class Hub:
         self.crossbar = Crossbar(cfg.num_ports)
         self.ports = [HubPort(self, index) for index in range(cfg.num_ports)]
         self.controller = HubController(self)
+        #: In-network collective engine (fetch-add/barrier/reduce).
+        self.collectives = HubCollectiveUnit(self)
         #: Lock table: output port -> origin CAB holding the lock.
         self.locks: dict[int, str] = {}
         #: Broadcast per output port, fired when the output frees.
@@ -70,14 +73,17 @@ class Hub:
     #: attached (the rest of the defaultdict still appears in snapshots).
     OBSERVED_COUNTERS = ("commands_executed", "packets_forwarded", "closes",
                          "replies_sent", "framing_errors", "stray_packets",
-                         "opens_abandoned")
+                         "opens_abandoned", "collective.fetch_adds",
+                         "collective.barrier_joins", "collective.reduce_joins",
+                         "collective.releases", "collective.stale")
 
     def register_metrics(self, registry, sampler) -> None:
         """Register this HUB with the observability layer (§4.1).
 
         Per-HUB counter series plus every port's queue-depth/ready/
-        utilization probes; the controller's cumulative command count
-        rides along so Perfetto shows switching activity over time.
+        utilization probes; the controller registers its own command,
+        queue-depth, and watchdog series so Perfetto shows switching
+        activity over time.
         """
         for key in self.OBSERVED_COUNTERS:
             sampler.add_probe(
@@ -85,11 +91,7 @@ class Hub:
                 lambda key=key: float(self.counters.get(key, 0)),
                 description=f"cumulative HUB counter {key!r}",
                 unit="events")
-        sampler.add_probe(
-            f"{self.name}.controller.commands",
-            lambda: float(self.controller.commands_executed),
-            description="commands executed by the central controller",
-            unit="commands")
+        self.controller.register_metrics(registry, sampler)
         for port in self.ports:
             port.register_metrics(registry, sampler)
 
@@ -193,6 +195,7 @@ class Hub:
             self.crossbar.reset()
             self.locks.clear()
             self.controller.reset()
+            self.collectives.reset()
             for port in self.ports:
                 port.reset()
             for out_port in range(self.cfg.num_ports):
@@ -263,6 +266,12 @@ class Hub:
         """Move a reply one hop backwards along its recorded route."""
         route = reply.info.get("route")
         if not route:
+            if "coll" in reply.info:
+                # A reply to a HUB-originated upward collective join: the
+                # route ends here, and the collective unit fans the
+                # release down to everything parked locally.
+                self.collectives.on_reply(reply)
+                return
             raise HubCommandError(f"reply {reply.seq} has no route at "
                                   f"{self.name}")
         hub, in_port = route.pop()
@@ -287,6 +296,7 @@ class Hub:
             "locks": dict(self.locks),
             "ports": [port.status() for port in self.ports],
             "counters": dict(self.counters),
+            "collectives": self.collectives.status(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -74,15 +74,33 @@ class CommandOp(Enum):
     SV_SET_TIMEOUT = auto()      #: configure the retry-watchdog (param cycles)
     SV_READ_STATUS = auto()      #: supervisor status snapshot (incl. frozen)
 
+    # --- supervisor: in-network collectives (extension; DESIGN.md §5) ---
+    SV_FETCH_ADD = auto()   #: atomic fetch-and-add on HUB counter <param>
+    SV_BARRIER = auto()     #: join barrier group <param>; multicast release
+    SV_REDUCE = auto()      #: join reduction group <param>; combine values
+    SV_COLL_RESET = auto()  #: clear group/counter <param>; fail parked joins
 
-#: Commands the central controller must serialise (§4.1).
+
+#: The in-network combining commands (``repro.collectives``).  Not part
+#: of the paper's 14-command supervisor set: they are the HUB-offloaded
+#: collectives extension, serialised through the central controller so
+#: arrival counting and combining are atomic at one command per cycle.
+COLLECTIVE_OPS = frozenset({
+    CommandOp.SV_FETCH_ADD, CommandOp.SV_BARRIER, CommandOp.SV_REDUCE,
+    CommandOp.SV_COLL_RESET,
+})
+
+#: Commands the central controller must serialise (§4.1).  The collective
+#: commands ride the same pipeline: the controller cycle *is* the
+#: combining serialisation point (cf. the Ultracomputer's combining
+#: switches).
 CONTROLLER_OPS = frozenset({
     CommandOp.OPEN, CommandOp.OPEN_REPLY, CommandOp.OPEN_RETRY,
     CommandOp.OPEN_RETRY_REPLY, CommandOp.TEST_OPEN,
     CommandOp.TEST_OPEN_REPLY, CommandOp.TEST_OPEN_RETRY,
     CommandOp.TEST_OPEN_RETRY_REPLY, CommandOp.LOCK, CommandOp.LOCK_REPLY,
     CommandOp.LOCK_RETRY_REPLY, CommandOp.UNLOCK,
-})
+}) | COLLECTIVE_OPS
 
 #: Open-family commands (establish crossbar connections).
 OPEN_OPS = frozenset({
@@ -105,7 +123,11 @@ RETRY_OPS = frozenset({
     CommandOp.LOCK_RETRY_REPLY,
 })
 
-#: Commands that send a reply to the origin CAB.
+#: Commands that send a reply to the origin CAB.  The collective
+#: commands are deliberately absent: every one of them *does* answer its
+#: origin, but the reply is issued by the HUB's collective unit — often
+#: cycles later, when the whole group has arrived — rather than by the
+#: generic execute-then-reply path.
 REPLY_OPS = frozenset({
     CommandOp.OPEN_REPLY, CommandOp.OPEN_RETRY_REPLY,
     CommandOp.TEST_OPEN_REPLY, CommandOp.TEST_OPEN_RETRY_REPLY,
@@ -122,6 +144,10 @@ SUPERVISOR_OPS = frozenset(op for op in CommandOp if op.name.startswith("SV_"))
 
 def is_supervisor(op: CommandOp) -> bool:
     return op in SUPERVISOR_OPS
+
+
+def is_collective(op: CommandOp) -> bool:
+    return op in COLLECTIVE_OPS
 
 
 def needs_controller(op: CommandOp) -> bool:

@@ -16,7 +16,8 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from ..sim import Event, Store
 from .frames import HubCommand
-from .hub_commands import CommandOp, has_retry, is_open, is_test_open
+from .hub_commands import (CommandOp, has_retry, is_collective, is_open,
+                           is_test_open)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .hub import Hub
@@ -89,6 +90,12 @@ class HubController:
         job.attempts += 1
         if self.frozen and not op.name.startswith("SV_"):
             job.finish(False, reason="frozen")
+            return
+        if is_collective(op):
+            # Combining happens at controller-cycle rate; the unit
+            # finishes the job immediately (never parking the port) and
+            # answers the origin with its own reply later.
+            self.hub.collectives.execute(job)
             return
         if is_open(op):
             self._try_open(job)
@@ -198,6 +205,50 @@ class HubController:
             return
         for job in jobs:
             self._resubmit(job)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def register_metrics(self, registry, sampler) -> None:
+        """Export controller health as sampled series (``repro.observe``).
+
+        Queue depth and waiter count expose head-of-line pressure on the
+        one-command-per-cycle pipeline; the frozen gauge and watchdog
+        counter surface supervisor interventions.
+        """
+        name = self.hub.name
+        sampler.add_probe(
+            f"{name}.controller.commands",
+            lambda: float(self.commands_executed),
+            description="commands executed by the central controller",
+            unit="commands")
+        sampler.add_utilization_probe(
+            f"{name}.controller.util",
+            lambda: self.commands_executed,
+            self.cfg.cycle_ns,
+            description="fraction of controller cycles spent executing")
+        sampler.add_probe(
+            f"{name}.controller.queue_depth",
+            lambda: float(len(self._queue.items)),
+            description="commands queued for the controller pipeline",
+            unit="commands")
+        sampler.add_probe(
+            f"{name}.controller.waiters",
+            lambda: float(sum(len(jobs) for jobs in self._waiters.values())),
+            description="retrying commands parked on busy outputs",
+            unit="commands")
+        sampler.add_probe(
+            f"{name}.controller.frozen",
+            lambda: float(self.frozen),
+            description="1 while SV_FREEZE blocks user commands",
+            unit="bool")
+        sampler.add_probe(
+            f"{name}.controller.retry_expirations",
+            lambda: float(self.hub.counters.get(
+                "retry_watchdog_expirations", 0)),
+            description="retrying commands abandoned by the watchdog",
+            unit="events")
 
     def reset(self) -> None:
         """Supervisor reset: fail all queued and waiting commands."""

@@ -122,9 +122,11 @@ class HubPort:
                 break
             packet.commands.pop(0)
             if not first:
-                # Later commands are still streaming in at fiber rate.
+                # Later commands are still streaming in at fiber rate
+                # (collective commands carry extension bytes).
                 yield self.sim.timeout(round(
-                    cfg.command_bytes * hub.fiber_cfg.ns_per_byte))
+                    command.wire_bytes(cfg.command_bytes)
+                    * hub.fiber_cfg.ns_per_byte))
             first = False
             yield self.sim.timeout(cfg.port_command_cycles * cfg.cycle_ns)
             result = yield from hub.execute_command(

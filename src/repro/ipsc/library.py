@@ -8,13 +8,22 @@ relatively simple."
 The classic iPSC/2 C interface is reproduced: ``csend``/``crecv`` with
 typed messages and wildcard selection, ``cprobe``, ``mynode``/
 ``numnodes``, and the common global operations (``gsync``, ``gisum``,
-``gcol``) built on the point-to-point primitives.
+``gcol``).
+
+The global operations have three execution paths, selected by
+``cfg.collectives.mode``: ``hub`` (default) offloads them to the HUB's
+in-network combining unit via :class:`~repro.collectives.CollectiveGroup`,
+``tree`` runs the software k-ary tree, and ``exchange`` keeps the
+classic hypercube dimension exchange built on ``csend``/``crecv``.
+Dimension exchange requires a power-of-two rank count; any other count
+transparently uses the tree, so 3-, 5- or 6-rank groups just work.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Union
 
+from ..collectives import CollectiveGroup
 from ..errors import NectarineError
 from ..kernel.mailbox import Message
 from ..nectarine.api import NectarineRuntime, Task
@@ -91,13 +100,19 @@ class IpscProcess:
     _COL_TYPE = 1 << 22
 
     def gsync(self):
-        """Barrier across all ranks (dimension-order exchange)."""
-        yield from self._dimension_exchange(self._SYNC_TYPE, None)
+        """Barrier across all ranks."""
+        if self._use_exchange():
+            yield from self._dimension_exchange(self._SYNC_TYPE, None)
+        else:
+            yield from self.library.group.barrier(self.rank)
 
     def gisum(self, value: int):
-        """Global integer sum via recursive doubling; every rank returns
-        the total (the partial sum must fold in *between* dimensions)."""
-        self._check_power_of_two()
+        """Global integer sum; every rank returns the total."""
+        if not self._use_exchange():
+            total = yield from self.library.group.allreduce(
+                self.rank, value, op="sum")
+            return total
+        # Recursive doubling (the partial sum folds between dimensions).
         n = self.numnodes()
         total = value
         stride = 1
@@ -113,11 +128,21 @@ class IpscProcess:
             dimension += 1
         return total
 
-    def _check_power_of_two(self) -> None:
+    def _power_of_two(self) -> bool:
         n = self.numnodes()
-        if n & (n - 1):
-            raise NectarineError("iPSC global ops need a power-of-two "
-                                 f"number of ranks, got {n}")
+        return n & (n - 1) == 0
+
+    def _use_exchange(self) -> bool:
+        """Dimension exchange only when configured AND the rank count
+        is a power of two; everything else rides the CollectiveGroup
+        (which never restricts the rank count)."""
+        cfg = self.library.runtime.system.cfg
+        return cfg.collectives.mode == "exchange" and self._power_of_two()
+
+    def _check_power_of_two(self) -> None:
+        if not self._power_of_two():
+            raise NectarineError("dimension exchange needs a power-of-two "
+                                 f"number of ranks, got {self.numnodes()}")
 
     def _dimension_exchange(self, base_type: int, make_payload):
         """Hypercube dimension-order exchange (requires power-of-two N
@@ -141,6 +166,9 @@ class IpscProcess:
 
     def gcol(self, data: bytes):
         """Gather every rank's bytes; returns a list indexed by rank."""
+        if not self._use_exchange():
+            parts = yield from self.library.group.allgather(self.rank, data)
+            return parts
         n = self.numnodes()
         contributions: dict[int, bytes] = {self.rank: data}
         stride = 1
@@ -179,6 +207,10 @@ class IpscLibrary:
         for rank, cab in enumerate(cabs):
             task = runtime.create_task(f"ipsc{rank}", cab)
             self.processes.append(IpscProcess(self, rank, task))
+        #: Collective engine behind gsync/gisum/gcol (mode from
+        #: ``cfg.collectives``; dimension exchange stays in this module).
+        self.group = CollectiveGroup([p.task for p in self.processes],
+                                     name="ipsc")
 
     def process(self, rank: int) -> IpscProcess:
         if not 0 <= rank < len(self.processes):

@@ -316,6 +316,81 @@ def _build_trace_disabled(trace: bool):
     return sim, drive
 
 
+def _build_collective(mode: str):
+    """E-COL scenario factory: collectives under hotspot contention.
+
+    Eight ranks run ``rounds`` of allreduce + barrier through the iPSC
+    library while every other CAB hammers cab0 with 512-byte datagrams —
+    the hotspot pattern that congests software trees rooted at rank 0.
+    One scenario per execution path (``hub`` offload, software ``tree``,
+    hypercube ``exchange``) so ``tools/perf_report.py`` and the E-COL
+    benchmark can compare completion latency at identical offered noise.
+    """
+    def build(trace: bool):
+        from dataclasses import replace
+
+        from .ipsc import IpscLibrary
+        from .nectarine import NectarineRuntime
+        from .topology import single_hub_system
+        cfg = NectarConfig(seed=SEED)
+        cfg = cfg.with_overrides(
+            collectives=replace(cfg.collectives, mode=mode))
+        system = single_hub_system(8, cfg=cfg)
+        if trace:
+            system.tracer.enable()
+        runtime = NectarineRuntime(system)
+        ranks = 8
+        rounds = 12
+        noise_messages = 40
+        library = IpscLibrary(
+            runtime, [system.cab(f"cab{i}") for i in range(ranks)])
+        totals: dict[int, int] = {}
+        done_ns: dict[int, int] = {}
+
+        def body(process):
+            total = 0
+            for round_no in range(rounds):
+                total = yield from process.gisum(
+                    process.mynode() + round_no + 1)
+                yield from process.gsync()
+            totals[process.mynode()] = total
+            done_ns[process.mynode()] = system.now
+
+        def noise(stack):
+            for _ in range(noise_messages):
+                yield from stack.transport.datagram.send(
+                    "cab0", "noise", size=512)
+
+        def drain(stack, count):
+            mailbox = stack.create_mailbox("noise", capacity=64)
+            for _ in range(count):
+                yield from stack.kernel.wait(mailbox.get())
+
+        def drive() -> dict[str, Any]:
+            hot = system.cab("cab0")
+            hot.spawn(drain(hot, (ranks - 1) * noise_messages),
+                      name="noise-drain")
+            for index in range(1, ranks):
+                stack = system.cab(f"cab{index}")
+                stack.spawn(noise(stack), name=f"noise{index}")
+            library.start_all(body)
+            system.run()
+            return {
+                "mode": mode,
+                "totals": dict(sorted(totals.items())),
+                "done_ns": dict(sorted(done_ns.items())),
+                "finish_ns": max(done_ns.values()),
+                "hub_counters": {
+                    name: dict(sorted(hub.counters.items()))
+                    for name, hub in sorted(system.hubs.items())
+                },
+            }
+
+        return system, drive
+
+    return build
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -337,6 +412,18 @@ SCENARIOS: dict[str, Scenario] = {
         Scenario("trace-disabled",
                  "micro: per-event cost of disabled tracing",
                  _build_trace_disabled),
+        Scenario("collective-hub",
+                 "E-COL: 8-rank allreduce+barrier rounds, HUB-offloaded, "
+                 "under hotspot noise",
+                 _build_collective("hub")),
+        Scenario("collective-tree",
+                 "E-COL: 8-rank allreduce+barrier rounds, software k-ary "
+                 "tree, under hotspot noise",
+                 _build_collective("tree")),
+        Scenario("collective-exchange",
+                 "E-COL: 8-rank allreduce+barrier rounds, hypercube "
+                 "dimension exchange, under hotspot noise",
+                 _build_collective("exchange")),
     )
 }
 

@@ -7,11 +7,11 @@ These tests pin those counts and the category coverage so the claim in
 the docs can never silently drift from the code.
 """
 
-from repro.hardware.hub_commands import (CONTROLLER_OPS, OPEN_OPS,
-                                         REPLY_OPS, RETRY_OPS,
+from repro.hardware.hub_commands import (COLLECTIVE_OPS, CONTROLLER_OPS,
+                                         OPEN_OPS, REPLY_OPS, RETRY_OPS,
                                          SUPERVISOR_OPS, TEST_OPS,
-                                         CommandOp, has_retry, is_open,
-                                         is_supervisor, is_test_open,
+                                         CommandOp, has_retry, is_collective,
+                                         is_open, is_supervisor, is_test_open,
                                          needs_controller, wants_reply)
 
 
@@ -24,8 +24,16 @@ class TestInventory:
         assert len(user_ops()) == 24
 
     def test_supervisor_command_count_matches_paper(self):
-        """§4.2: "14 supervisor commands"."""
-        assert len(SUPERVISOR_OPS) == 14
+        """§4.2: "14 supervisor commands" (collectives are an extension)."""
+        assert len(SUPERVISOR_OPS - COLLECTIVE_OPS) == 14
+
+    def test_collective_extension_inventory(self):
+        """The in-network collectives add exactly four supervisor ops."""
+        assert len(COLLECTIVE_OPS) == 4
+        assert COLLECTIVE_OPS <= SUPERVISOR_OPS
+        names = {op.name for op in COLLECTIVE_OPS}
+        assert names == {"SV_FETCH_ADD", "SV_BARRIER", "SV_REDUCE",
+                         "SV_COLL_RESET"}
 
     def test_every_paper_category_is_covered(self):
         """§4.2: connections, locks, status, and flow control."""
@@ -46,9 +54,9 @@ class TestInventory:
 
 
 class TestClassifierConsistency:
-    def test_controller_ops_are_opens_and_locks(self):
+    def test_controller_ops_are_opens_locks_and_collectives(self):
         for op in CONTROLLER_OPS:
-            assert is_open(op) or "LOCK" in op.name
+            assert is_open(op) or "LOCK" in op.name or is_collective(op)
 
     def test_test_ops_subset_of_opens(self):
         assert TEST_OPS <= OPEN_OPS
@@ -64,6 +72,7 @@ class TestClassifierConsistency:
     def test_predicates_agree_with_sets(self):
         for op in CommandOp:
             assert is_supervisor(op) == (op in SUPERVISOR_OPS)
+            assert is_collective(op) == (op in COLLECTIVE_OPS)
             assert needs_controller(op) == (op in CONTROLLER_OPS)
             assert is_open(op) == (op in OPEN_OPS)
             assert is_test_open(op) == (op in TEST_OPS)
@@ -71,8 +80,19 @@ class TestClassifierConsistency:
             assert wants_reply(op) == (op in REPLY_OPS)
 
     def test_supervisor_ops_never_need_controller_serialisation(self):
-        for op in SUPERVISOR_OPS:
+        """Paper supervisor commands are port-local; the collective
+        extension deliberately rides the controller pipeline, which is
+        its combining serialisation point."""
+        for op in SUPERVISOR_OPS - COLLECTIVE_OPS:
             assert not needs_controller(op)
+        for op in COLLECTIVE_OPS:
+            assert needs_controller(op)
+
+    def test_collectives_reply_through_their_own_unit(self):
+        """Collective replies come from the collective unit (often cycles
+        later), never from the generic execute-then-reply path."""
+        for op in COLLECTIVE_OPS:
+            assert not wants_reply(op)
 
     def test_closes_are_port_local(self):
         """§4.1: 'localized' commands execute inside the I/O port."""

@@ -240,18 +240,47 @@ class TestIpsc:
         # Nobody leaves the barrier before the slowest rank arrived.
         assert min(after.values()) >= 500_000
 
-    def test_global_ops_need_power_of_two(self):
-        system, library = self.make_library(3)
-        failures = {}
+    @pytest.mark.parametrize("ranks", [3, 5, 6])
+    def test_global_ops_work_for_any_rank_count(self, ranks):
+        """Non-power-of-two groups ride the collective tree (no more
+        NectarineError from _check_power_of_two)."""
+        system, library = self.make_library(ranks)
+        totals = {}
+        collected = {}
 
         def body(p):
-            try:
-                yield from p.gisum(1)
-            except NectarineError:
-                failures[p.mynode()] = True
-        library.start(0, body)
-        system.run(until=100_000_000)
-        assert failures.get(0)
+            total = yield from p.gisum(p.mynode() + 1)
+            totals[p.mynode()] = total
+            parts = yield from p.gcol(bytes([p.mynode()]))
+            collected[p.mynode()] = parts
+            yield from p.gsync()
+        library.start_all(body)
+        system.run(until=2_000_000_000)
+        expected_total = ranks * (ranks + 1) // 2
+        assert totals == {rank: expected_total for rank in range(ranks)}
+        expected_parts = [bytes([rank]) for rank in range(ranks)]
+        assert all(parts == expected_parts
+                   for parts in collected.values())
+
+    @pytest.mark.parametrize("mode", ["tree", "exchange"])
+    def test_gisum_software_modes_agree(self, mode):
+        from dataclasses import replace
+        from repro.config import default_config
+        cfg = default_config()
+        cfg = cfg.with_overrides(
+            collectives=replace(cfg.collectives, mode=mode))
+        system = single_hub_system(4, cfg=cfg)
+        runtime = NectarineRuntime(system)
+        library = IpscLibrary(
+            runtime, [system.cab(f"cab{i}") for i in range(4)])
+        totals = {}
+
+        def body(p):
+            total = yield from p.gisum(p.mynode() + 1)
+            totals[p.mynode()] = total
+        library.start_all(body)
+        system.run(until=1_000_000_000)
+        assert totals == {0: 10, 1: 10, 2: 10, 3: 10}
 
     def test_cprobe(self):
         system, library = self.make_library(2)

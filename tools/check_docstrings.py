@@ -25,6 +25,8 @@ import sys
 #: being imported from directly by user code or examples.
 PUBLIC_MODULES = {
     "repro/errors.py",
+    "repro/collectives/group.py",
+    "repro/collectives/tree.py",
     "repro/datalink/protocol.py",
     "repro/faults/campaigns.py",
     "repro/faults/injector.py",
