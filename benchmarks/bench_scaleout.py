@@ -1,0 +1,81 @@
+"""E-SCL — partitioned scale-out on large fabrics.
+
+Shards the 64-CAB 4D-torus E-SCL scenario across 1, 2 and 4 worker
+processes under conservative lookahead and measures the events/s and
+goodput curve against partition count.  The hard gate is bit-identity:
+every partitioned run's fingerprint digest — per-CAB delivery counts and
+content hashes, completion times, per-HUB counters — must equal the
+single-process reference, and so must the raw event count.  A second
+scenario at 256 CABs demonstrates the >= 256-node scale the CLI
+(``python -m repro scaleout``) reports on.
+"""
+
+import pytest
+
+from repro.scaleout import run_partitioned, run_single, scenarios
+from repro.stats import ExperimentTable
+
+PARTITION_COUNTS = (1, 2, 4)
+
+
+def scenario_scaling(name):
+    scenario = scenarios()[name]
+    out = {"digests_match": True}
+    reference = None
+    for count in PARTITION_COUNTS:
+        result = run_single(scenario) if count == 1 \
+            else run_partitioned(scenario, count)
+        if reference is None:
+            reference = result
+        out["digests_match"] &= (result.digest == reference.digest
+                                 and result.events == reference.events)
+        out[f"p{count}_events_per_sec"] = round(result.events_per_sec, 1)
+        out[f"p{count}_wall_s"] = round(result.wall_s, 4)
+        out[f"p{count}_rounds"] = result.rounds
+    out["events"] = reference.events
+    out["goodput_mbps"] = round(reference.goodput_mbps, 1)
+    out["digest"] = reference.digest
+    return out
+
+
+@pytest.mark.benchmark(group="E-SCL-scaleout")
+def test_escl_torus64_partitioned_is_bit_identical(benchmark):
+    result = benchmark.pedantic(scenario_scaling,
+                                args=("escl-torus-64",),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    table = ExperimentTable(
+        "E-SCL", "64-CAB 4D torus, shift permutation, 1/2/4 partitions")
+    for count in PARTITION_COUNTS:
+        table.add(f"{count}-partition throughput", "-",
+                  f"{result[f'p{count}_events_per_sec']:,.0f} events/s")
+    table.add("goodput", "-", f"{result['goodput_mbps']:.0f} Mb/s")
+    table.add("digests + event counts bit-identical", "yes",
+              "yes" if result["digests_match"] else "NO",
+              result["digests_match"])
+    table.print()
+    assert result["digests_match"], \
+        "partitioned digests diverged from the single-process reference"
+
+
+@pytest.mark.benchmark(group="E-SCL-scaleout")
+def test_escl_torus256_partitioned_is_bit_identical(benchmark):
+    def run():
+        scenario = scenarios()["escl-torus-256"]
+        reference = run_single(scenario)
+        sharded = run_partitioned(scenario, 4)
+        return {
+            "match": (sharded.digest == reference.digest
+                      and sharded.events == reference.events),
+            "events": reference.events,
+            "single_events_per_sec": round(reference.events_per_sec, 1),
+            "p4_events_per_sec": round(sharded.events_per_sec, 1),
+            "p4_rounds": sharded.rounds,
+            "p4_envelopes": sharded.envelopes,
+            "digest": reference.digest,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["match"], \
+        "256-CAB partitioned digest diverged from single-process"

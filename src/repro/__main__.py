@@ -21,6 +21,11 @@
   on the fixed-seed scenarios of :mod:`repro.perfbench`, written to
   ``BENCH_engine.json`` (render/compare with ``tools/perf_report.py``;
   see ``docs/PERFORMANCE.md``).
+* ``python -m repro scaleout`` — E-SCL partitioned scale-out runs:
+  shard a large fabric across worker processes under conservative
+  lookahead, report events/s and goodput per partition count, and
+  (``--verify``) assert partitioned digests bit-identical to the
+  single-process reference (``docs/SCALEOUT.md``).
 
 For the complete suite use ``pytest benchmarks/ --benchmark-only -s``.
 """
@@ -457,6 +462,64 @@ def run_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_scaleout(args: argparse.Namespace) -> int:
+    """E-SCL: partition-count scaling with a hard digest gate."""
+    from .scaleout import run_partitioned, run_single, scenarios
+
+    registry = scenarios()
+    if args.scenario not in registry:
+        print(f"error: unknown scenario {args.scenario!r} "
+              f"(have: {', '.join(sorted(registry))})", file=sys.stderr)
+        return 2
+    try:
+        counts = sorted({int(part)
+                         for part in args.partitions.split(",")})
+    except ValueError:
+        print(f"error: --partitions wants comma-separated integers, "
+              f"got {args.partitions!r}", file=sys.stderr)
+        return 2
+    if any(count < 1 for count in counts):
+        print("error: partition counts must be >= 1", file=sys.stderr)
+        return 2
+    scenario = registry[args.scenario]
+    print(f"E-SCL {scenario.name}: {scenario.description}")
+    print(f"  {len(scenario.fabric.hubs)} HUBs, {scenario.num_cabs} CABs, "
+          f"{len(scenario.fabric.links)} inter-HUB links; "
+          f"{scenario.messages_per_cab} x {scenario.message_bytes} B per "
+          f"CAB, {scenario.mode} mode, lookahead "
+          f"{scenario.propagation_ns} ns")
+    print()
+    print(f"{'parts':>5s} {'events':>9s} {'wall':>8s} {'events/s':>10s} "
+          f"{'goodput':>9s} {'rounds':>6s}  digest")
+    results = []
+    for count in counts:
+        result = run_single(scenario) if count == 1 \
+            else run_partitioned(scenario, count)
+        results.append(result)
+        print(f"{count:5d} {result.events:9,} {result.wall_s:7.3f}s "
+              f"{result.events_per_sec:10,.0f} "
+              f"{result.goodput_mbps:6.0f} Mb/s {result.rounds:6d}  "
+              f"{result.digest[:16]}")
+    digests = {result.digest for result in results}
+    events = {result.events for result in results}
+    if args.verify or len(counts) > 1:
+        if len(digests) != 1 or len(events) != 1:
+            print("\nDIGEST MISMATCH: partitioned runs are not "
+                  "bit-identical to the reference", file=sys.stderr)
+            return 1
+        print(f"\nall {len(results)} run(s) bit-identical: "
+              f"digest {results[0].digest}")
+    if args.json is not None:
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"scenario": scenario.name,
+                       "runs": [result.summary() for result in results]},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote results to {args.json}")
+    return 0
+
+
 def _default_metrics_path(out: str) -> str:
     stem = out[:-5] if out.endswith(".json") else out
     return f"{stem}.metrics.jsonl"
@@ -622,6 +685,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--smoke", action="store_true",
                        help="run only the quick CI smoke scenarios")
     bench.set_defaults(func=run_bench)
+
+    scaleout = commands.add_parser(
+        "scaleout",
+        help="E-SCL: partitioned scale-out runs on large fabrics, with "
+             "a bit-identical digest gate (docs/SCALEOUT.md)")
+    scaleout.add_argument(
+        "scenario", nargs="?", default="escl-torus-256",
+        help="E-SCL scenario name (default: escl-torus-256; see "
+             "repro.scaleout.scenarios())")
+    scaleout.add_argument(
+        "--partitions", default="1,2,4",
+        help="comma-separated partition counts to run "
+             "(default: 1,2,4; 1 = single-process reference)")
+    scaleout.add_argument(
+        "--verify", action="store_true",
+        help="exit non-zero unless every run's digest and event count "
+             "match (implied when multiple counts are given)")
+    scaleout.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write per-run summaries as JSON")
+    scaleout.set_defaults(func=run_scaleout)
     return parser
 
 

@@ -100,7 +100,7 @@ class Fiber:
             return
         latency = self.cfg.propagation_ns + self._serialization(size)
         self.bytes_sent += size
-        self.sim.call_in(latency, lambda: self._deliver(item, size))
+        self._schedule_delivery(latency, item, size)
 
     def _size_of(self, item: Any, wire_size: Optional[int]) -> int:
         if wire_size is not None:
@@ -140,12 +140,24 @@ class Fiber:
             else:
                 self._corrupt_maybe(item)
             if deliver:
-                sim.call_in(self._head_latency,
-                            lambda i=item, s=size: self._deliver(i, s))
+                self._schedule_delivery(self._head_latency, item, size)
             yield sim.timeout(serialization)
             self.packets_sent += 1
             self.bytes_sent += size
             done.succeed()
+
+    def _schedule_delivery(self, latency: int, item: Any, size: int) -> None:
+        """Commit a delivery ``latency`` ticks from now.
+
+        The single seam between "this item left the near end" and "this
+        item arrives at the far end": both the cut-through path and the
+        cycle-stealing priority path land here.  Partitioned scale-out
+        runs (:mod:`repro.scaleout`) subclass this to capture the
+        delivery into a cross-partition outbox instead of scheduling a
+        local event — the ``now + latency`` arrival time is exactly what
+        the conservative-lookahead protocol exchanges.
+        """
+        self.sim.call_in(latency, lambda: self._deliver(item, size))
 
     def _deliver(self, item: Any, size: int) -> None:
         if self.endpoint is None:

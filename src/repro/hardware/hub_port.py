@@ -94,6 +94,14 @@ class HubPort:
         if peer is None:
             return
         delay = self.hub.fiber_cfg.propagation_ns
+        # A partition-boundary stub (repro.scaleout) captures the ready
+        # signal at commit time so it can cross process boundaries with
+        # its arrival timestamp intact; this is the tightest cross-link
+        # interaction, so its delay *is* the conservative lookahead.
+        schedule = getattr(peer, "schedule_notify_ready", None)
+        if schedule is not None:
+            schedule(delay)
+            return
         self.sim.call_in(delay, peer.notify_ready)
 
     def _handle(self, packet: Packet, size: int, head_time: int):

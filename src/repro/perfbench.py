@@ -391,6 +391,33 @@ def _build_collective(mode: str):
     return build
 
 
+def _build_scaleout(scenario_name: str):
+    """E-SCL scenario factory: large-fabric shift-permutation traffic.
+
+    Runs the scale-out workload single-process so the perf harness
+    tracks the same fabrics the partitioned runs shard; the partitioned
+    digests are asserted against these runs by ``python -m repro
+    scaleout --verify`` and the CI scale-out smoke.
+    """
+    def build(trace: bool):
+        from .scaleout import scenarios as scaleout_scenarios
+        from .scaleout import spawn_traffic
+        from .topology.fabrics import build_system
+        scenario = scaleout_scenarios()[scenario_name]
+        system = build_system(scenario.fabric, scenario.config())
+        if trace:
+            system.tracer.enable()
+        traffic = spawn_traffic(scenario, system)
+
+        def drive() -> dict[str, Any]:
+            system.run()
+            return traffic.fragment()
+
+        return system, drive
+
+    return build
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -424,6 +451,14 @@ SCENARIOS: dict[str, Scenario] = {
                  "E-COL: 8-rank allreduce+barrier rounds, hypercube "
                  "dimension exchange, under hotspot noise",
                  _build_collective("exchange")),
+        Scenario("scaleout-torus-64",
+                 "E-SCL: 64-CAB 4D torus, shift-permutation datagrams "
+                 "(single-process reference for partitioned digests)",
+                 _build_scaleout("escl-torus-64")),
+        Scenario("scaleout-torus-256",
+                 "E-SCL: 256-CAB 4x4x4x4 torus, shift-permutation "
+                 "datagrams",
+                 _build_scaleout("escl-torus-256")),
     )
 }
 

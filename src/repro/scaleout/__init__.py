@@ -1,0 +1,34 @@
+"""Partitioned scale-out simulation for 1000+ node fabrics.
+
+Shards a Nectar installation across worker processes — one partition per
+HUB cluster group — synchronized with conservative lookahead equal to
+the inter-HUB fiber propagation delay.  Each worker runs the unmodified
+:mod:`repro.sim` engine over its own hubs and CAB stacks; a coordinator
+exchanges timestamped envelope batches over pipes and advances every
+worker to ``min(neighbour horizons) + lookahead``.  Partitioned runs are
+bit-identical (hard digest assert) to single-process runs of the same
+seeded scenario.  See ``docs/SCALEOUT.md``.
+"""
+
+from .escl import (ScaleoutScenario, Traffic, fingerprint_digest,
+                   merge_fragments, scenarios, spawn_traffic)
+from .partition import (Partitioning, PartitionSystem, lookahead_ns,
+                        partition_fabric)
+from .runner import ScaleoutResult, run_partitioned, run_single, verify
+
+__all__ = [
+    "Partitioning",
+    "PartitionSystem",
+    "ScaleoutResult",
+    "ScaleoutScenario",
+    "Traffic",
+    "fingerprint_digest",
+    "lookahead_ns",
+    "merge_fragments",
+    "partition_fabric",
+    "run_partitioned",
+    "run_single",
+    "scenarios",
+    "spawn_traffic",
+    "verify",
+]

@@ -1,0 +1,244 @@
+"""E-SCL scenarios: deterministic traffic for partitioned scale-out runs.
+
+Each scenario fixes a large regular fabric (from
+:mod:`repro.topology.fabrics`), a seeded configuration, and a shift
+permutation workload: CAB ``i`` sends ``messages_per_cab`` datagrams to
+CAB ``(i + n/2) mod n``.  The half-rotation guarantees that contiguous
+hub partitions exchange most of their traffic *across* partition
+boundaries — the worst case for the synchronization protocol, and
+therefore the honest one to benchmark.
+
+Determinism is the load-bearing property: the same scenario must produce
+a bit-identical fingerprint whether it runs in one process or sharded
+across N workers.  Two rules make that hold:
+
+* Everything a fingerprint includes is **order-insensitive within a
+  tick**.  A partitioned run merges per-worker event heaps, so two
+  events at the same timestamp in different partitions may execute in
+  either order; totals, per-CAB content hashes over *sorted* per-message
+  digests, and per-hub counter totals are unaffected, while a raw event
+  interleaving would not be.
+* Everything is **locally computable**.  Each worker produces a fragment
+  covering only its own CABs and hubs; fragments merge by dict union
+  (key sets are disjoint by construction) and the merged fingerprint
+  hashes identically to the single-process one.
+
+Per-sender message sizes vary (``message_bytes + (13 i mod 29)``) and
+senders start at staggered times, so no two cross-partition packets are
+byte-for-byte symmetric — ties that *would* be reorder-sensitive are
+engineered out of the workload rather than papered over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from ..config import NectarConfig
+from ..topology.fabrics import (FabricSpec, fat_tree_fabric,
+                                hypercube_fabric, torus_fabric)
+
+__all__ = ["SEED", "ScaleoutScenario", "Traffic", "fingerprint_digest",
+           "merge_fragments", "scenarios", "spawn_traffic"]
+
+SEED = 1989
+
+#: Mailbox every receiver listens on.
+_MAILBOX = "escl"
+
+
+@dataclass(frozen=True)
+class ScaleoutScenario:
+    """A named fabric + seeded workload, shared by every run shape."""
+
+    name: str
+    description: str
+    fabric: FabricSpec
+    messages_per_cab: int = 4
+    message_bytes: int = 512
+    #: Inter-HUB fiber propagation (simulated ns).  Scale-out scenarios
+    #: model a longer machine-room fiber plant than the default config;
+    #: this is also the conservative lookahead, so it sets how much
+    #: simulated time each synchronization round covers.
+    propagation_ns: int = 800
+    mode: str = "packet"
+
+    def config(self) -> NectarConfig:
+        """The seeded config every process building this scenario uses."""
+        cfg = NectarConfig(seed=SEED)
+        return cfg.with_overrides(
+            fiber=replace(cfg.fiber, propagation_ns=self.propagation_ns))
+
+    @property
+    def num_cabs(self) -> int:
+        return len(self.fabric.cabs)
+
+    def partner(self, index: int) -> int:
+        """Destination CAB index for sender ``index`` (half rotation)."""
+        count = self.num_cabs
+        return (index + count // 2) % count
+
+    def sender_bytes(self, index: int) -> int:
+        """Per-message size for sender ``index`` (breaks tie symmetry)."""
+        return self.message_bytes + (index * 13) % 29
+
+
+class Traffic:
+    """The spawned workload's collection surface for one process.
+
+    After the simulation has drained, :meth:`fragment` returns this
+    process's share of the fingerprint — covering exactly the CABs and
+    hubs the hosting system materialized.
+    """
+
+    def __init__(self, scenario: ScaleoutScenario, system: Any) -> None:
+        self.scenario = scenario
+        self.system = system
+        self.received: dict[str, list[str]] = defaultdict(list)
+        self.done_ns: dict[str, int] = {}
+        self.sent: dict[str, int] = {}
+
+    def fragment(self) -> dict[str, Any]:
+        """This process's locally-observed slice of the fingerprint."""
+        content = {
+            cab: hashlib.sha256(
+                "\n".join(sorted(digests)).encode()).hexdigest()
+            for cab, digests in self.received.items()
+        }
+        return {
+            "delivered": {cab: len(d) for cab, d in self.received.items()},
+            "content": content,
+            "done_ns": dict(self.done_ns),
+            "sent": dict(self.sent),
+            "hub_counters": {
+                name: dict(sorted(hub.counters.items()))
+                for name, hub in self.system.hubs.items()
+            },
+        }
+
+
+def _message_digest(src: str, data: bytes) -> str:
+    hasher = hashlib.sha256(f"{src}|{len(data)}|".encode())
+    hasher.update(data)
+    return hasher.hexdigest()
+
+
+def _sender(scenario: ScaleoutScenario, stack: Any, index: int,
+            traffic: Traffic):
+    names = scenario.fabric.cab_names
+    dst = names[scenario.partner(index)]
+    size = scenario.sender_bytes(index)
+    rng = random.Random((SEED << 5) ^ index)
+    # Staggered starts: no two senders commit their first packet on the
+    # same tick, which keeps cross-partition batches free of symmetric
+    # same-timestamp pairs.
+    yield from stack.kernel.sleep(1 + (index * 911) % 4096)
+    for _ in range(scenario.messages_per_cab):
+        body = rng.randbytes(size)
+        yield from stack.transport.datagram.send(
+            dst, _MAILBOX, data=body, mode=scenario.mode)
+        traffic.sent[stack.name] = traffic.sent.get(stack.name, 0) + 1
+
+
+def _receiver(scenario: ScaleoutScenario, stack: Any, traffic: Traffic):
+    mailbox = stack.create_mailbox(
+        _MAILBOX, capacity=scenario.messages_per_cab + 8)
+    for _ in range(scenario.messages_per_cab):
+        message = yield from stack.kernel.wait(mailbox.get())
+        traffic.received[stack.name].append(
+            _message_digest(message.src, message.data))
+    traffic.done_ns[stack.name] = stack.sim.now
+
+
+def spawn_traffic(scenario: ScaleoutScenario, system: Any) -> Traffic:
+    """Start the workload on every CAB ``system`` materializes.
+
+    Works unchanged for a full :class:`~repro.system.NectarSystem` and a
+    :class:`~repro.scaleout.partition.PartitionSystem`: each process
+    spawns senders and receivers only for the CAB stacks it owns, and
+    the shift permutation guarantees every sender has exactly one remote
+    or local partner expecting its messages.
+    """
+    names = scenario.fabric.cab_names
+    index_of = {name: i for i, name in enumerate(names)}
+    traffic = Traffic(scenario, system)
+    # Construction order (the fabric's), not dict order, so partitioned
+    # and single-process runs spawn threads in the same relative order.
+    local = [name for name in names if name in system.cabs]
+    for name in local:
+        stack = system.cabs[name]
+        stack.spawn(_receiver(scenario, stack, traffic),
+                    name=f"{name}-escl-sink")
+    for name in local:
+        stack = system.cabs[name]
+        stack.spawn(_sender(scenario, stack, index_of[name], traffic),
+                    name=f"{name}-escl-src")
+    return traffic
+
+
+def merge_fragments(fragments: list[dict[str, Any]]) -> dict[str, Any]:
+    """Union per-process fragments into the global fingerprint.
+
+    Key sets are disjoint (each CAB and hub lives in exactly one
+    partition), so a plain merge is exact; keys are sorted by the JSON
+    canonicalisation in :func:`fingerprint_digest`.
+    """
+    merged: dict[str, dict] = {"delivered": {}, "content": {},
+                               "done_ns": {}, "sent": {},
+                               "hub_counters": {}}
+    for fragment in fragments:
+        for section, values in fragment.items():
+            overlap = merged[section].keys() & values.keys()
+            if overlap:
+                raise ValueError(
+                    f"fragment overlap in {section!r}: {sorted(overlap)}")
+            merged[section].update(values)
+    return merged
+
+
+def fingerprint_digest(scenario_name: str,
+                       fingerprint: dict[str, Any]) -> str:
+    """The bit-identity contract: SHA-256 over the canonical JSON."""
+    payload = json.dumps({"scenario": scenario_name,
+                          "fingerprint": fingerprint}, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+_SCENARIOS: Optional[dict[str, ScaleoutScenario]] = None
+
+
+def scenarios() -> dict[str, ScaleoutScenario]:
+    """The E-SCL registry (built lazily; specs for 1k hubs take a beat)."""
+    global _SCENARIOS
+    if _SCENARIOS is None:
+        entries = (
+            ScaleoutScenario(
+                "escl-torus-16", "2x2x2x2 torus, 16 CABs (test scale)",
+                torus_fabric((2, 2, 2, 2))),
+            ScaleoutScenario(
+                "escl-torus-16-circuit",
+                "2x2x2x2 torus, circuit-switched (replies cross cuts)",
+                torus_fabric((2, 2, 2, 2)), message_bytes=2048,
+                mode="circuit"),
+            ScaleoutScenario(
+                "escl-torus-64", "4x4x2x2 torus, 64 CABs (QCDSP-style)",
+                torus_fabric((4, 4, 2, 2))),
+            ScaleoutScenario(
+                "escl-hypercube-64", "6-cube, 64 CABs (iPSC-style)",
+                hypercube_fabric(6)),
+            ScaleoutScenario(
+                "escl-fattree-4", "4-ary fat tree, 16 CABs, 20 HUBs",
+                fat_tree_fabric(4)),
+            ScaleoutScenario(
+                "escl-torus-256", "4x4x4x4 torus, 256 CABs",
+                torus_fabric((4, 4, 4, 4)), messages_per_cab=2),
+            ScaleoutScenario(
+                "escl-torus-1024", "8x8x4x4 torus, 1024 CABs",
+                torus_fabric((8, 8, 4, 4)), messages_per_cab=1),
+        )
+        _SCENARIOS = {entry.name: entry for entry in entries}
+    return _SCENARIOS

@@ -1,0 +1,353 @@
+"""One shard of a partitioned NectarSystem (the worker-side runtime).
+
+A :class:`Partitioning` cuts a :class:`~repro.topology.fabrics.FabricSpec`
+on inter-HUB fiber boundaries: each partition owns a contiguous slice of
+the fabric's hubs (construction order), every CAB lives with its hub,
+and the links whose endpoints land in different partitions become *cut
+links*.  :class:`PartitionSystem` then instantiates exactly one
+partition's worth of real hardware inside its own
+:class:`~repro.sim.Simulator`:
+
+* Local hubs, their CAB stacks, and local-local fibers are built with
+  the same names, ports, and per-link RNG streams as the single-process
+  system, so their event sequences are identical.
+* Remote hubs exist only as name-carrying proxies registered with the
+  partition's :class:`~repro.datalink.routing.Router`.  Routing — BFS,
+  parallel-link flow hashing, route caching — operates purely on names
+  and the full link list, so every partition computes the *same* routes
+  the single-process router would, while only materializing tables for
+  the CAB pairs its local senders actually use (no global BFS).
+* Each cut link's transmit side is a :class:`_BoundaryFiber`: the normal
+  :class:`~repro.hardware.fiber.Fiber` serialisation model, but its
+  delivery commitment is captured into an outbox envelope carrying the
+  exact arrival timestamp instead of becoming a local event.  The
+  ready-bit signal crosses the same way via :class:`_RemotePortStub`.
+
+The coordinator (:mod:`repro.scaleout.runner`) moves envelopes between
+partitions and advances each worker under conservative lookahead;
+:func:`lookahead_ns` derives that lookahead from the fiber config (see
+``docs/SCALEOUT.md`` for the proof sketch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..config import NectarConfig, default_config
+from ..datalink.routing import Router
+from ..errors import TopologyError
+from ..hardware.cab import CabBoard
+from ..hardware.fiber import Fiber
+from ..hardware.hub import Hub
+from ..hardware.wiring import wire_cab_to_hub, wire_hub_to_hub
+from ..sim import Simulator, Tracer
+from ..system.builder import CabStack
+from ..topology.fabrics import FabricSpec
+from .wire import KIND_READY, decode_item, encode_item, kind_of
+
+__all__ = ["Envelope", "Partitioning", "PartitionSystem", "lookahead_ns",
+           "partition_fabric"]
+
+
+#: One cross-partition delivery: ``(arrival, seq, kind, dst_hub,
+#: dst_port, item, wire_size)``.  ``seq`` is the sender-side capture
+#: order; the coordinator sorts merged batches by ``(arrival,
+#: src_partition, seq)`` so injection order is deterministic.
+Envelope = tuple
+
+
+def lookahead_ns(cfg: NectarConfig) -> int:
+    """The conservative lookahead for ``cfg``, in simulated ns.
+
+    Every cross-partition interaction crosses an inter-HUB fiber, and the
+    earliest-arriving one is the ready-bit signal, which lands after
+    exactly ``propagation_ns`` (packet heads add one byte time on top;
+    replies add a full serialisation).  A message committed at time ``t``
+    therefore arrives no earlier than ``t + propagation_ns``, which is
+    what lets the coordinator advance every partition through a window of
+    that width without waiting on its neighbours.
+    """
+    lookahead = cfg.fiber.propagation_ns
+    if lookahead < 1:
+        raise TopologyError(
+            "scale-out needs fiber propagation_ns >= 1 for lookahead")
+    return lookahead
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """An assignment of every fabric hub to exactly one partition."""
+
+    fabric: FabricSpec
+    parts: tuple[tuple[str, ...], ...]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.parts)
+
+    def owner_map(self) -> dict[str, int]:
+        """Hub name -> owning partition index."""
+        owners: dict[str, int] = {}
+        for index, hubs in enumerate(self.parts):
+            for hub in hubs:
+                owners[hub] = index
+        return owners
+
+    def cut_links(self) -> tuple[tuple[str, int, str, int], ...]:
+        """The fabric links whose endpoints live in different partitions."""
+        owners = self.owner_map()
+        return tuple(link for link in self.fabric.links
+                     if owners[link[0]] != owners[link[2]])
+
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` unless this is a true partition."""
+        owners = self.owner_map()
+        if not self.parts or any(not part for part in self.parts):
+            raise TopologyError("every partition needs at least one hub")
+        if set(owners) != set(self.fabric.hubs) \
+                or sum(len(p) for p in self.parts) != len(self.fabric.hubs):
+            raise TopologyError(
+                "partitions must cover every hub exactly once")
+
+
+def partition_fabric(fabric: FabricSpec, num_partitions: int) -> Partitioning:
+    """Cut ``fabric`` into ``num_partitions`` contiguous hub slices.
+
+    Hubs are assigned in construction order, which the regular-fabric
+    builders lay out so that consecutive hubs are topologically close
+    (row-major torus coordinates, hypercube index order, fat-tree
+    core/agg/edge grouping) — contiguous slices therefore cut few links.
+    Slice sizes differ by at most one hub.
+    """
+    count = len(fabric.hubs)
+    if not 1 <= num_partitions <= count:
+        raise TopologyError(
+            f"cannot cut {count} hubs into {num_partitions} partitions")
+    base, extra = divmod(count, num_partitions)
+    parts = []
+    start = 0
+    for index in range(num_partitions):
+        size = base + (1 if index < extra else 0)
+        parts.append(tuple(fabric.hubs[start:start + size]))
+        start += size
+    partitioning = Partitioning(fabric=fabric, parts=tuple(parts))
+    partitioning.validate()
+    return partitioning
+
+
+class _HubProxy:
+    """A remote hub as seen by this partition: a name, nothing else.
+
+    The router, datalink command builder, and reply-path codec only ever
+    read ``.name`` from hubs they do not switch packets through, so this
+    is all a partition needs to know about the rest of the fabric.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<_HubProxy {self.name}>"
+
+
+class _BoundaryFiber(Fiber):
+    """The transmit side of a cut link: capture instead of deliver.
+
+    Serialisation, cut-through timing, fault injection, and statistics
+    are all inherited unchanged — the only difference is that the moment
+    the base class would schedule the far-end delivery, the item is
+    sealed into an outbox envelope stamped with that same arrival time.
+    """
+
+    def __init__(self, *args: Any, outbox: "PartitionSystem",
+                 dst_hub: str, dst_port: int, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._outbox = outbox
+        self._dst_hub = dst_hub
+        self._dst_port = dst_port
+
+    def _schedule_delivery(self, latency: int, item: Any, size: int) -> None:
+        self._outbox.capture(self.sim.now + latency, kind_of(item),
+                             self._dst_hub, self._dst_port,
+                             encode_item(item), size)
+
+
+class _RemotePortStub:
+    """Stands in as ``port.peer`` for the far end of a cut link.
+
+    Carries the remote hub/port identity and captures the ready-bit
+    signal (:meth:`schedule_notify_ready`, duck-typed by
+    :meth:`~repro.hardware.hub_port.HubPort._signal_upstream_drained`)
+    into the partition outbox.
+    """
+
+    __slots__ = ("_outbox", "hub_name", "port_index", "sim")
+
+    def __init__(self, outbox: "PartitionSystem", sim: Simulator,
+                 hub_name: str, port_index: int) -> None:
+        self._outbox = outbox
+        self.sim = sim
+        self.hub_name = hub_name
+        self.port_index = port_index
+
+    def schedule_notify_ready(self, delay: int) -> None:
+        self._outbox.capture(self.sim.now + delay, KIND_READY,
+                             self.hub_name, self.port_index, None, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<_RemotePortStub {self.hub_name}.p{self.port_index}>"
+
+
+class PartitionSystem:
+    """One partition's hardware plus its cross-partition mailboxes.
+
+    Duck-types the slice of :class:`~repro.system.NectarSystem` that
+    :class:`~repro.system.builder.CabStack` and scenario drivers use:
+    ``cfg``, ``sim``, ``tracer``, ``router``, ``hubs``, ``cabs``,
+    ``cab()``, ``run()``, ``now``.
+    """
+
+    def __init__(self, partitioning: Partitioning, index: int,
+                 cfg: Optional[NectarConfig] = None) -> None:
+        partitioning.validate()
+        if not 0 <= index < partitioning.num_partitions:
+            raise TopologyError(f"no partition {index} in {partitioning}")
+        self.partitioning = partitioning
+        self.index = index
+        self.cfg = cfg or default_config()
+        fabric = partitioning.fabric
+        fabric.validate(self.cfg.hub.num_ports)
+        self.sim = Simulator()
+        self.tracer = Tracer(self.sim, enabled=False)
+        self.router = Router()
+        self.hubs: dict[str, Hub] = {}
+        self._proxies: dict[str, _HubProxy] = {}
+        self.cabs: dict[str, CabStack] = {}
+        self._outbox: list[Envelope] = []
+        self._seq = 0
+
+        local = set(partitioning.parts[index])
+        owners = partitioning.owner_map()
+        every: dict[str, Any] = {}
+        for name in fabric.hubs:
+            if name in local:
+                hub = Hub(self.sim, name, self.cfg.hub, self.cfg.fiber,
+                          tracer=self.tracer)
+                self.hubs[name] = hub
+                every[name] = hub
+            else:
+                proxy = _HubProxy(name)
+                self._proxies[name] = proxy
+                every[name] = proxy
+            self.router.add_hub(every[name])
+
+        for hub_a, port_a, hub_b, port_b in fabric.links:
+            # The router learns the *whole* fabric graph (names only), so
+            # routes match the single-process system; real fibers exist
+            # only where at least one endpoint is local.
+            self.router.add_link(every[hub_a], port_a, every[hub_b], port_b)
+            a_local, b_local = hub_a in local, hub_b in local
+            if a_local and b_local:
+                wire_hub_to_hub(self.sim, self.hubs[hub_a], port_a,
+                                self.hubs[hub_b], port_b,
+                                rng_factory=self.cfg.rng_stream)
+            elif a_local:
+                self._wire_boundary(hub_a, port_a, hub_b, port_b)
+            elif b_local:
+                self._wire_boundary(hub_b, port_b, hub_a, port_a)
+
+        for cab_name, hub_name, port in fabric.cabs:
+            self.router.add_cab(cab_name, every[hub_name], port)
+            if hub_name not in local:
+                continue
+            hub = self.hubs[hub_name]
+            board = CabBoard(self.sim, cab_name, self.cfg.cab,
+                             self.cfg.fiber)
+            wire_cab_to_hub(self.sim, board, hub, port,
+                            rng_factory=self.cfg.rng_stream)
+            self.cabs[cab_name] = CabStack(self, board)
+        self.neighbour_partitions = tuple(sorted(
+            {owners[a] for a, _pa, b, _pb in partitioning.cut_links()
+             if b in local}
+            | {owners[b] for a, _pa, b, _pb in partitioning.cut_links()
+               if a in local}))
+
+    def _wire_boundary(self, local_hub: str, local_port: int,
+                       remote_hub: str, remote_port: int) -> None:
+        """Give the local half of a cut link its capture-side plumbing."""
+        port = self.hubs[local_hub].port(local_port)
+        name = f"{local_hub}.p{local_port}->{remote_hub}.p{remote_port}"
+        # Same fiber name as wire_hub_to_hub builds, hence the same
+        # seed-derived fault RNG stream as the single-process run.
+        port.out_fiber = _BoundaryFiber(
+            self.sim, self.cfg.fiber, name, self.cfg.rng_stream(name),
+            outbox=self, dst_hub=remote_hub, dst_port=remote_port)
+        port.peer = _RemotePortStub(self, self.sim, remote_hub, remote_port)
+
+    # ------------------------------------------------------------------
+    # cross-partition mailboxes
+    # ------------------------------------------------------------------
+
+    def capture(self, arrival: int, kind: str, dst_hub: str, dst_port: int,
+                item: Any, size: int) -> None:
+        """Seal one outbound delivery into the current round's outbox."""
+        self._outbox.append((arrival, self._seq, kind, dst_hub, dst_port,
+                             item, size))
+        self._seq += 1
+
+    def drain_outbox(self) -> list[Envelope]:
+        """Hand the round's captured envelopes to the coordinator."""
+        drained, self._outbox = self._outbox, []
+        return drained
+
+    def inject(self, envelopes: list[Envelope]) -> None:
+        """Schedule deliveries received from other partitions.
+
+        Arrivals are strictly in this partition's future: a message
+        committed at ``t`` in some round arrives at ``t + lookahead`` at
+        the earliest, past that round's window end (see
+        :func:`lookahead_ns`), so ``call_at`` never lands in the past.
+        """
+        for arrival, _seq, kind, dst_hub, dst_port, item, size in envelopes:
+            port = self.hubs[dst_hub].port(dst_port)
+            if kind == KIND_READY:
+                self.sim.call_at(arrival, port.notify_ready)
+            else:
+                decoded = decode_item(item, self._resolve)
+                self.sim.call_at(
+                    arrival,
+                    lambda p=port, i=decoded, s=size: p.deliver(i, s))
+
+    def _resolve(self, name: str) -> Any:
+        hub = self.hubs.get(name)
+        return hub if hub is not None else self._proxies[name]
+
+    # ------------------------------------------------------------------
+    # NectarSystem duck-type surface
+    # ------------------------------------------------------------------
+
+    def cab(self, name: str) -> CabStack:
+        try:
+            return self.cabs[name]
+        except KeyError:
+            raise TopologyError(
+                f"CAB {name!r} is not in partition {self.index}") from None
+
+    def run(self, until: Optional[int] = None) -> int:
+        return self.sim.run(until=until)
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of this partition's next local event, if any."""
+        return self.sim.peek()
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<PartitionSystem {self.index}/"
+                f"{self.partitioning.num_partitions} "
+                f"hubs={len(self.hubs)} cabs={len(self.cabs)}>")

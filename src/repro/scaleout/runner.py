@@ -1,0 +1,247 @@
+"""The conservative-lookahead coordinator and its worker processes.
+
+``run_single`` executes an E-SCL scenario in one process, exactly like
+every other experiment in the repo.  ``run_partitioned`` shards the same
+scenario across ``num_partitions`` worker processes (one
+:class:`~repro.scaleout.partition.PartitionSystem` each, fork-started)
+and synchronizes them in barrier rounds over pipes:
+
+1. Every worker reports its next local event time and flushes its
+   outbox of captured cross-partition envelopes.
+2. The coordinator computes the global horizon ``N`` — the minimum over
+   all reported next-event times and all undelivered envelope arrivals —
+   and the window end ``W = N + L - 1``, where ``L`` is the fiber
+   propagation lookahead (:func:`~repro.scaleout.partition.lookahead_ns`).
+3. Envelopes arriving at or before ``W`` are routed to their owning
+   partitions (sorted by ``(arrival, source partition, capture seq)`` so
+   injection order is deterministic), and every worker advances to ``W``.
+
+Any message committed during a round happens at ``t >= N`` and arrives
+at ``t + L > W``, so no envelope can land inside the window that
+produced it — each round is causally closed, and each new horizon is
+strictly later than the last window, so the loop always progresses.
+The run terminates when every worker is idle and no envelopes remain.
+
+The digest of a partitioned run is asserted bit-identical to the
+single-process digest by ``verify`` (the CI scale-out smoke), which is
+the whole protocol's correctness witness: see ``docs/SCALEOUT.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..topology.fabrics import build_system
+from .escl import (ScaleoutScenario, fingerprint_digest, merge_fragments,
+                   scenarios, spawn_traffic)
+from .partition import PartitionSystem, lookahead_ns, partition_fabric
+
+__all__ = ["ScaleoutResult", "run_partitioned", "run_single", "verify"]
+
+#: Seconds the coordinator waits on a worker before declaring it hung.
+_WORKER_TIMEOUT_S = 600.0
+
+
+@dataclass
+class ScaleoutResult:
+    """One run's outcome: determinism digest plus throughput numbers."""
+
+    scenario: str
+    partitions: int
+    events: int
+    sim_ns: int
+    wall_s: float
+    rounds: int
+    envelopes: int
+    fingerprint: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def digest(self) -> str:
+        """Bit-identity contract: equal across partition counts."""
+        return fingerprint_digest(self.scenario, self.fingerprint)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def goodput_mbps(self) -> float:
+        """Delivered payload bits per simulated time, in Mbit/s."""
+        delivered_bits = 8 * sum(
+            self.fingerprint.get("delivered", {}).get(cab, 0) * size
+            for cab, size in self._receiver_sizes())
+        horizon = max(self.fingerprint.get("done_ns", {}).values(),
+                      default=0)
+        return delivered_bits / horizon * 1000 if horizon else 0.0
+
+    def _receiver_sizes(self):
+        scenario = scenarios()[self.scenario]
+        names = scenario.fabric.cab_names
+        count = len(names)
+        for index, name in enumerate(names):
+            sender = (index - count // 2) % count
+            yield name, scenario.sender_bytes(sender)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "partitions": self.partitions,
+            "events": self.events,
+            "sim_ns": self.sim_ns,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "goodput_mbps": round(self.goodput_mbps, 3),
+            "rounds": self.rounds,
+            "envelopes": self.envelopes,
+            "digest": self.digest,
+        }
+
+
+def run_single(scenario: ScaleoutScenario) -> ScaleoutResult:
+    """Run the scenario in-process; the reference for every digest."""
+    system = build_system(scenario.fabric, scenario.config())
+    traffic = spawn_traffic(scenario, system)
+    start = time.perf_counter()
+    system.run()
+    wall = time.perf_counter() - start
+    fingerprint = merge_fragments([traffic.fragment()])
+    return ScaleoutResult(scenario.name, 1, system.sim.events_processed,
+                          system.now, wall, rounds=0, envelopes=0,
+                          fingerprint=fingerprint)
+
+
+def _worker_main(conn, scenario_name: str, num_partitions: int,
+                 index: int) -> None:
+    """Worker process: one partition, advanced in coordinator windows."""
+    scenario = scenarios()[scenario_name]
+    partitioning = partition_fabric(scenario.fabric, num_partitions)
+    system = PartitionSystem(partitioning, index, scenario.config())
+    traffic = spawn_traffic(scenario, system)
+    conn.send(("state", system.peek(), system.drain_outbox(),
+               system.sim.events_processed))
+    while True:
+        message = conn.recv()
+        if message[0] == "advance":
+            _tag, window, envelopes = message
+            system.inject(envelopes)
+            system.run(until=window)
+            conn.send(("state", system.peek(), system.drain_outbox(),
+                       system.sim.events_processed))
+        elif message[0] == "finish":
+            conn.send(("result", traffic.fragment(),
+                       system.sim.events_processed, system.now))
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"unknown coordinator message {message[0]!r}")
+
+
+def _recv(conn):
+    if not conn.poll(_WORKER_TIMEOUT_S):
+        raise TimeoutError("scale-out worker did not answer; "
+                           "coordinator giving up")
+    return conn.recv()
+
+
+def run_partitioned(scenario: ScaleoutScenario,
+                    num_partitions: int) -> ScaleoutResult:
+    """Run the scenario sharded across ``num_partitions`` processes."""
+    if num_partitions < 2:
+        return run_single(scenario)
+    partitioning = partition_fabric(scenario.fabric, num_partitions)
+    owners = partitioning.owner_map()
+    lookahead = lookahead_ns(scenario.config())
+    ctx = mp.get_context("fork")
+    pipes, workers = [], []
+    for index in range(num_partitions):
+        parent, child = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child, scenario.name, num_partitions, index),
+            name=f"scaleout-{scenario.name}-p{index}", daemon=True)
+        pipes.append(parent)
+        workers.append(process)
+    rounds = 0
+    total_envelopes = 0
+    try:
+        for process in workers:
+            process.start()
+        peeks: list[Optional[int]] = [None] * num_partitions
+        #: Per destination partition: (arrival, src, seq, envelope).
+        pending: list[list[tuple]] = [[] for _ in range(num_partitions)]
+
+        def absorb(src: int, state) -> None:
+            nonlocal total_envelopes
+            _tag, peek, outbox, _events = state
+            peeks[src] = peek
+            total_envelopes += len(outbox)
+            for envelope in outbox:
+                destination = owners[envelope[3]]
+                pending[destination].append(
+                    (envelope[0], src, envelope[1], envelope))
+
+        start = time.perf_counter()
+        for src, conn in enumerate(pipes):
+            absorb(src, _recv(conn))
+        while True:
+            candidates = [peek for peek in peeks if peek is not None]
+            candidates.extend(entry[0] for batch in pending
+                              for entry in batch)
+            if not candidates:
+                break
+            window = min(candidates) + lookahead - 1
+            rounds += 1
+            for index, conn in enumerate(pipes):
+                batch = sorted(entry for entry in pending[index]
+                               if entry[0] <= window)
+                pending[index] = [entry for entry in pending[index]
+                                  if entry[0] > window]
+                conn.send(("advance", window,
+                           [entry[3] for entry in batch]))
+            for src, conn in enumerate(pipes):
+                absorb(src, _recv(conn))
+        for conn in pipes:
+            conn.send(("finish",))
+        fragments, events, sim_ns = [], 0, 0
+        for conn in pipes:
+            _tag, fragment, worker_events, worker_now = _recv(conn)
+            fragments.append(fragment)
+            events += worker_events
+            sim_ns = max(sim_ns, worker_now)
+        wall = time.perf_counter() - start
+        for process in workers:
+            process.join(timeout=30)
+    finally:
+        for process in workers:
+            if process.is_alive():  # pragma: no cover - error cleanup
+                process.terminate()
+    fingerprint = merge_fragments(fragments)
+    return ScaleoutResult(scenario.name, num_partitions, events, sim_ns,
+                          wall, rounds=rounds, envelopes=total_envelopes,
+                          fingerprint=fingerprint)
+
+
+def verify(scenario: ScaleoutScenario,
+           partition_counts: tuple[int, ...] = (2,)) -> ScaleoutResult:
+    """Assert every partitioned digest matches the single-process one.
+
+    Returns the single-process result (the reference).  Raises
+    ``AssertionError`` on the first mismatch — this is the hard digest
+    gate the CI scale-out smoke and the E-SCL benchmark both call.
+    """
+    reference = run_single(scenario)
+    for count in partition_counts:
+        result = run_partitioned(scenario, count)
+        if result.digest != reference.digest:
+            raise AssertionError(
+                f"{scenario.name}: {count}-partition digest "
+                f"{result.digest} != single-process {reference.digest}")
+        if result.events != reference.events:
+            raise AssertionError(
+                f"{scenario.name}: {count}-partition run processed "
+                f"{result.events} events, single-process "
+                f"{reference.events}")
+    return reference

@@ -1,0 +1,121 @@
+"""repro.scaleout: partitioned runs must be bit-identical to single."""
+
+import pytest
+
+from repro.hardware.frames import HubCommand, Packet, Payload, Reply
+from repro.hardware.hub_commands import CommandOp
+from repro.scaleout import (lookahead_ns, run_partitioned, run_single,
+                            scenarios)
+from repro.scaleout.wire import (KIND_PACKET, KIND_REPLY, decode_item,
+                                 encode_item, kind_of)
+
+
+@pytest.fixture(scope="module")
+def torus16_reference():
+    return run_single(scenarios()["escl-torus-16"])
+
+
+# ----------------------------------------------------------------------
+# wire codec
+# ----------------------------------------------------------------------
+
+class _FakeHub:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_packet_roundtrip_rebinds_hubs_and_materializes_payload():
+    hubs = {"hub_a": _FakeHub("hub_a"), "hub_b": _FakeHub("hub_b")}
+    packet = Packet("cab0",
+                    commands=[HubCommand(CommandOp.TEST_OPEN_RETRY,
+                                         "hub_b", 3, origin="cab0")],
+                    payload=Payload(4, data=memoryview(b"abcdef")[1:5]))
+    packet.reverse_path = [(hubs["hub_a"], 2), (hubs["hub_b"], 7)]
+    assert kind_of(packet) == KIND_PACKET
+    encode_item(packet)
+    assert packet.reverse_path == [("hub_a", 2), ("hub_b", 7)]
+    assert isinstance(packet.payload.data, bytes)
+    decode_item(packet, hubs.__getitem__)
+    assert packet.reverse_path[0][0] is hubs["hub_a"]
+    assert packet.reverse_path[1][0] is hubs["hub_b"]
+    assert packet.payload.data == b"bcde"
+
+
+def test_reply_roundtrip_rebinds_route():
+    hubs = {"hub_a": _FakeHub("hub_a")}
+    reply = Reply(seq=9, ok=True, hub_id="hub_a",
+                  info={"route": [(hubs["hub_a"], 4)], "op": "open"})
+    assert kind_of(reply) == KIND_REPLY
+    encode_item(reply)
+    assert reply.info["route"] == [("hub_a", 4)]
+    decode_item(reply, hubs.__getitem__)
+    assert reply.info["route"][0][0] is hubs["hub_a"]
+    assert reply.info["op"] == "open"
+
+
+def test_kind_of_rejects_foreign_items():
+    with pytest.raises(TypeError):
+        kind_of(object())
+    with pytest.raises(TypeError):
+        encode_item(42)
+
+
+# ----------------------------------------------------------------------
+# lookahead
+# ----------------------------------------------------------------------
+
+def test_lookahead_is_fiber_propagation():
+    scenario = scenarios()["escl-torus-16"]
+    assert lookahead_ns(scenario.config()) == scenario.propagation_ns
+
+
+# ----------------------------------------------------------------------
+# the bit-identity contract
+# ----------------------------------------------------------------------
+
+def test_single_run_is_deterministic(torus16_reference):
+    again = run_single(scenarios()["escl-torus-16"])
+    assert again.digest == torus16_reference.digest
+    assert again.events == torus16_reference.events
+    assert again.sim_ns == torus16_reference.sim_ns
+
+
+@pytest.mark.parametrize("num_partitions", [2, 4])
+def test_partitioned_digest_matches_single(torus16_reference,
+                                           num_partitions):
+    result = run_partitioned(scenarios()["escl-torus-16"], num_partitions)
+    assert result.digest == torus16_reference.digest
+    # Capture-at-commit creates no sender event and injection creates
+    # exactly the one call event the local fiber would have — so even
+    # the raw event count survives partitioning.
+    assert result.events == torus16_reference.events
+    assert result.envelopes > 0 and result.rounds > 0
+
+
+def test_circuit_mode_replies_cross_partitions():
+    scenario = scenarios()["escl-torus-16-circuit"]
+    reference = run_single(scenario)
+    result = run_partitioned(scenario, 2)
+    assert result.digest == reference.digest
+    assert result.events == reference.events
+    # Circuit opens travel forward and their replies travel back, so a
+    # 2-partition run must exchange strictly more envelopes than the
+    # packet-mode run on the same fabric.
+    packets = run_partitioned(scenarios()["escl-torus-16"], 2)
+    assert result.envelopes > packets.envelopes
+
+
+def test_fingerprint_covers_delivery_and_content(torus16_reference):
+    fingerprint = torus16_reference.fingerprint
+    scenario = scenarios()["escl-torus-16"]
+    assert set(fingerprint["delivered"]) == set(scenario.fabric.cab_names)
+    assert all(count == scenario.messages_per_cab
+               for count in fingerprint["delivered"].values())
+    assert set(fingerprint["content"]) == set(scenario.fabric.cab_names)
+    assert torus16_reference.goodput_mbps > 0
+
+
+def test_run_partitioned_with_one_partition_is_single(torus16_reference):
+    result = run_partitioned(scenarios()["escl-torus-16"], 1)
+    assert result.digest == torus16_reference.digest
+    assert result.partitions == 1

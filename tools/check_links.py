@@ -7,6 +7,10 @@ match a heading in the target (GitHub slug rules: lowercase, spaces to
 dashes, punctuation dropped).  ``http(s)``/``mailto`` links are skipped
 — CI must not depend on the network.
 
+Also enforces the documentation index: every ``docs/*.md`` file must be
+linked from the README's "Documentation index" table, so new documents
+cannot silently drop out of the front door.
+
 Exit status 0 when clean; 1 with one ``file: link: problem`` line per
 broken link.
 
@@ -60,9 +64,30 @@ def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
     return files
 
 
+def check_docs_index(root: pathlib.Path) -> list[str]:
+    """Every docs/*.md must be linked from the README.
+
+    Returns one problem line per docs file the README never references,
+    so a new document cannot land without a Documentation-index entry.
+    """
+    readme = root / "README.md"
+    docs_dir = root / "docs"
+    if not readme.exists() or not docs_dir.is_dir():
+        return []
+    linked = set()
+    for match in _LINK.finditer(readme.read_text(encoding="utf-8")):
+        path_part = match.group(1).partition("#")[0]
+        if path_part:
+            linked.add((readme.parent / path_part).resolve())
+    return [f"README.md: docs/{path.name}: "
+            "not listed in the Documentation index"
+            for path in sorted(docs_dir.glob("*.md"))
+            if path.resolve() not in linked]
+
+
 def check(root: pathlib.Path) -> list[str]:
     """Return one ``file: link: problem`` line per broken link."""
-    problems = []
+    problems = check_docs_index(root)
     for md_file in markdown_files(root):
         rel_file = md_file.relative_to(root)
         for match in _LINK.finditer(md_file.read_text(encoding="utf-8")):
