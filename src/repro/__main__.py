@@ -310,6 +310,8 @@ def run_bench(args: argparse.Namespace) -> int:
         return 2
     names = list(SMOKE_SCENARIOS) if args.smoke else \
         (args.scenarios or sorted(SCENARIOS))
+    if args.compare:
+        return _bench_compare(args, names)
     results = run_suite(names, repeat=args.repeat)
     baseline = None
     if os.path.exists(args.out):
@@ -325,6 +327,74 @@ def run_bench(args: argparse.Namespace) -> int:
     print(f"wrote {args.out} "
           f"(runs: {', '.join(document['runs'])})")
     return 0
+
+
+def _bench_compare(args: argparse.Namespace, names: list) -> int:
+    """Run the suite fresh and gate it against the checked-in baseline.
+
+    The anchor is the *first* run recorded in the baseline document (the
+    file accumulates runs oldest-first, so the first is the original
+    pre-optimization baseline), or ``--baseline-label`` when given.
+    Digests must match the baseline exactly — a throughput win that
+    changes behaviour is a bug, not a speedup — and with ``--min-ratio``
+    the aggregate (geometric-mean) speedup must clear the bar.
+    """
+    import json
+    import math
+    import os
+
+    from .perfbench import run_suite
+
+    if not os.path.exists(args.out):
+        print(f"error: no baseline file {args.out} to compare against",
+              file=sys.stderr)
+        return 2
+    with open(args.out, encoding="utf-8") as handle:
+        baseline_doc = json.load(handle)
+    runs = baseline_doc.get("runs", {})
+    if not runs:
+        print(f"error: {args.out} records no runs", file=sys.stderr)
+        return 2
+    anchor = args.baseline_label or next(iter(runs))
+    if anchor not in runs:
+        print(f"error: {args.out} has no run labelled {anchor!r} "
+              f"(has: {', '.join(runs)})", file=sys.stderr)
+        return 2
+    baseline = runs[anchor]["scenarios"]
+    shared = [name for name in names if name in baseline]
+    skipped = sorted(set(names) - set(shared))
+    if not shared:
+        print(f"error: baseline run {anchor!r} shares no scenarios with "
+              f"{', '.join(names)}", file=sys.stderr)
+        return 2
+    results = run_suite(shared, repeat=args.repeat)
+    print(f"compare: fresh suite vs {args.out}[{anchor}]")
+    failures = []
+    ratios = []
+    for name in shared:
+        old, new = baseline[name], results[name]
+        ratio = new["events_per_sec"] / old["events_per_sec"]
+        ratios.append(ratio)
+        digest_ok = old["digest"] == new["digest"] \
+            and old["events"] == new["events"]
+        if not digest_ok:
+            failures.append(f"{name}: digest/event-count drifted from "
+                            f"baseline")
+        print(f"{name:18s} {old['events_per_sec']:>12,.0f} -> "
+              f"{new['events_per_sec']:>12,.0f} ev/s  {ratio:5.2f}x  "
+              f"digest={'yes' if digest_ok else 'NO'}")
+    aggregate = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    print(f"aggregate speedup (geometric mean over {len(ratios)} "
+          f"scenarios): {aggregate:.2f}x")
+    for name in skipped:
+        print(f"  ({name}: not in baseline run {anchor!r}, skipped)")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if args.min_ratio is not None and aggregate < args.min_ratio:
+        print(f"FAIL: aggregate {aggregate:.2f}x < required "
+              f"{args.min_ratio}x")
+        return 1
+    return 1 if failures else 0
 
 
 def run_collectives(args: argparse.Namespace) -> int:
@@ -684,6 +754,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "preserved (default: BENCH_engine.json)")
     bench.add_argument("--smoke", action="store_true",
                        help="run only the quick CI smoke scenarios")
+    bench.add_argument("--compare", action="store_true",
+                       help="don't write results; run fresh and gate "
+                            "against the baseline document in --out "
+                            "(digests must match; see --min-ratio)")
+    bench.add_argument("--min-ratio", type=float, default=None,
+                       help="with --compare: fail (exit 1) unless the "
+                            "geometric-mean speedup over the baseline "
+                            "reaches this ratio")
+    bench.add_argument("--baseline-label", default=None,
+                       help="with --compare: baseline run label to anchor "
+                            "on (default: the first, i.e. oldest, run "
+                            "in the document)")
     bench.set_defaults(func=run_bench)
 
     scaleout = commands.add_parser(

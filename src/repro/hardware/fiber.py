@@ -32,8 +32,24 @@ class FiberEndpoint(Protocol):
         receiver compute when the tail will have arrived."""
 
 
+#: Indices into :attr:`Fiber.stats` — one flat int list per fiber so the
+#: transmit loop's per-packet accounting is two index stores on a local,
+#: not four attribute chases through the instance dict.
+_SENT, _DROPPED, _REPLIES_DROPPED, _BYTES = range(4)
+
+
 class Fiber:
     """One direction of a fiber pair."""
+
+    # Slots make every hot attribute a fixed-offset load in the transmit
+    # loop.  ``__dict__`` stays in the layout (created lazily, so plain
+    # fibers never allocate one) because instrumentation taps patch
+    # per-instance ``send`` wrappers, and subclasses (the scale-out
+    # boundary fiber) hang extra attributes off it.
+    __slots__ = ("sim", "cfg", "name", "rng", "endpoint", "_pending",
+                 "_head_latency", "_xfer_cache", "_transmitter",
+                 "fault_down", "fault_drop", "fault_corrupt",
+                 "fault_reply_drop", "stats", "__dict__")
 
     def __init__(self, sim: Simulator, cfg: FiberConfig, name: str,
                  rng: Optional[random.Random] = None) -> None:
@@ -63,11 +79,29 @@ class Fiber:
         self.fault_drop = 0.0
         self.fault_corrupt = 0.0
         self.fault_reply_drop = 0.0
-        # statistics
-        self.packets_sent = 0
-        self.packets_dropped = 0
-        self.replies_dropped = 0
-        self.bytes_sent = 0
+        # Statistics, packed into one flat list (see the _SENT.._BYTES
+        # index constants); the named views below are the public API.
+        self.stats = [0, 0, 0, 0]
+
+    @property
+    def packets_sent(self) -> int:
+        """Packets fully serialised onto the line."""
+        return self.stats[_SENT]
+
+    @property
+    def packets_dropped(self) -> int:
+        """Packets killed by fault injection (framing error or vanish)."""
+        return self.stats[_DROPPED]
+
+    @property
+    def replies_dropped(self) -> int:
+        """Replies/ready signals lost to injected faults."""
+        return self.stats[_REPLIES_DROPPED]
+
+    @property
+    def bytes_sent(self) -> int:
+        """Cumulative bytes serialised (drives utilization probes)."""
+        return self.stats[_BYTES]
 
     def connect(self, endpoint: FiberEndpoint) -> None:
         if self.endpoint is not None:
@@ -96,10 +130,10 @@ class Fiber:
         size = self._size_of(item, wire_size)
         if self.fault_down or (self.fault_reply_drop > 0.0
                                and self.rng.random() < self.fault_reply_drop):
-            self.replies_dropped += 1
+            self.stats[_REPLIES_DROPPED] += 1
             return
         latency = self.cfg.propagation_ns + self._serialization(size)
-        self.bytes_sent += size
+        self.stats[_BYTES] += size
         self._schedule_delivery(latency, item, size)
 
     def _size_of(self, item: Any, wire_size: Optional[int]) -> int:
@@ -122,6 +156,7 @@ class Fiber:
     def _transmit_loop(self):
         sim = self.sim
         pending = self._pending
+        stats = self.stats
         while True:
             item, size, done = yield pending.get()
             serialization = self._serialization(size)
@@ -129,7 +164,7 @@ class Fiber:
             # time; the line stays busy until the tail has been serialised.
             deliver = True
             if self._faulted(item):
-                self.packets_dropped += 1
+                stats[_DROPPED] += 1
                 if isinstance(item, Packet):
                     # A damaged packet still arrives and drains queues —
                     # the framing error is detected at reception, so
@@ -142,8 +177,8 @@ class Fiber:
             if deliver:
                 self._schedule_delivery(self._head_latency, item, size)
             yield sim.timeout(serialization)
-            self.packets_sent += 1
-            self.bytes_sent += size
+            stats[_SENT] += 1
+            stats[_BYTES] += size
             done.succeed()
 
     def _schedule_delivery(self, latency: int, item: Any, size: int) -> None:

@@ -42,6 +42,15 @@ class Hub:
         self.fiber_cfg = fiber_cfg or FiberConfig()
         self.tracer = tracer
         self.crossbar = Crossbar(cfg.num_ports)
+        # Array-backed per-port wire state.  The ready bit and queue depth
+        # are touched on every hop, so the hot sites (packet delivery,
+        # output-register claim, controller test-opens) do index stores/
+        # loads on these lists instead of attribute chases through the
+        # port objects; :class:`HubPort` exposes property views for
+        # compatibility and diagnostics.
+        self.ready_bits: list[bool] = [True] * cfg.num_ports
+        self.queue_depths: list[int] = [0] * cfg.num_ports
+        self.max_queue_depths: list[int] = [0] * cfg.num_ports
         self.ports = [HubPort(self, index) for index in range(cfg.num_ports)]
         self.controller = HubController(self)
         #: In-network collective engine (fetch-add/barrier/reduce).
@@ -166,20 +175,19 @@ class Hub:
             return {"ok": True, "outputs": sorted(outputs)}
         if op is CommandOp.STATUS_READY:
             return {"ok": True,
-                    "ready": self.ports[self._checked(param)].ready_bit}
+                    "ready": self.ready_bits[self._checked(param)]}
         if op is CommandOp.STATUS_LOCK:
             return {"ok": True, "locked_by": self.locks.get(param)}
         if op is CommandOp.STATUS_TABLE:
             return {"ok": True, "table": self.crossbar.snapshot(),
                     "locks": dict(self.locks)}
         if op is CommandOp.SET_READY:
-            port = self.ports[self._checked(param)]
-            port.ready_bit = True
-            port.ready_changed.fire()
+            self.ready_bits[self._checked(param)] = True
+            self.ports[param].ready_changed.fire()
             self.notify_ready_changed(param)
             return {"ok": True}
         if op is CommandOp.CLEAR_READY:
-            self.ports[self._checked(param)].ready_bit = False
+            self.ready_bits[self._checked(param)] = False
             return {"ok": True}
         if op is CommandOp.NOP:
             return {"ok": True}

@@ -125,7 +125,7 @@ class HubController:
         elif hub.crossbar.output_busy(out_port) \
                 and hub.crossbar.owner_of(out_port) != job.in_port:
             problem = "busy"
-        elif is_test_open(job.command.op) and not port.ready_bit:
+        elif is_test_open(job.command.op) and not hub.ready_bits[out_port]:
             problem = "not ready"
         if problem is None:
             hub.crossbar.connect(job.in_port, out_port)

@@ -35,16 +35,32 @@ class HubPort:
         self.out_fiber: Optional["Fiber"] = None
         #: The device at the far end (a HubPort or a CAB-like endpoint).
         self.peer: Optional[Any] = None
-        #: Ready bit: "the input queue of the next HUB connected to it is
-        #: ready to store a new packet" (§4.2.3).
-        self.ready_bit = True
+        # The ready bit and queue depths live in the hub's per-port
+        # arrays (``hub.ready_bits``/``hub.queue_depths``/
+        # ``hub.max_queue_depths``) so per-hop updates are index stores;
+        # the properties below keep the per-port view.
         self.ready_changed = Broadcast(self.sim)
         self.enabled = True
         self.loopback = False
         self._arrivals: Store = Store(self.sim)
         self._worker = self.sim.process(self._input_loop(),
                                         name=f"{hub.name}.p{index}")
-        self.max_queue_depth = 0
+
+    @property
+    def ready_bit(self) -> bool:
+        """Ready bit: "the input queue of the next HUB connected to it is
+        ready to store a new packet" (§4.2.3).  Backed by
+        ``hub.ready_bits[index]``."""
+        return self.hub.ready_bits[self.index]
+
+    @ready_bit.setter
+    def ready_bit(self, value: bool) -> None:
+        self.hub.ready_bits[self.index] = value
+
+    @property
+    def max_queue_depth(self) -> int:
+        """High-water mark of the input queue (``hub.max_queue_depths``)."""
+        return self.hub.max_queue_depths[self.index]
 
     # ------------------------------------------------------------------
     # fiber endpoint protocol
@@ -66,11 +82,16 @@ class HubPort:
                 self._signal_upstream_drained()
             return
         self._arrivals.put((item, wire_size, self.sim.now))
-        self.max_queue_depth = max(self.max_queue_depth, len(self._arrivals))
+        hub = self.hub
+        index = self.index
+        depth = len(self._arrivals.items)
+        hub.queue_depths[index] = depth
+        if depth > hub.max_queue_depths[index]:
+            hub.max_queue_depths[index] = depth
 
     def notify_ready(self) -> None:
         """Downstream input queue drained: raise the ready bit."""
-        self.ready_bit = True
+        self.hub.ready_bits[self.index] = True
         self.ready_changed.fire()
         # Test-opens queued in the controller may now proceed (§4.2.3).
         self.hub.notify_ready_changed(self.index)
@@ -80,9 +101,11 @@ class HubPort:
     # ------------------------------------------------------------------
 
     def _input_loop(self):
-        cfg = self.hub.cfg
+        queue_depths = self.hub.queue_depths
+        index = self.index
         while True:
             packet, size, head_time = yield self._arrivals.get()
+            queue_depths[index] = len(self._arrivals.items)
             yield from self._handle(packet, size, head_time)
             # The packet has fully left this input queue: signal upstream
             # (the signal travels the reverse fiber, §4.2.3).
@@ -200,7 +223,7 @@ class HubPort:
         if packet.has_payload:
             # Start of packet at the output register clears the ready bit
             # (§4.2.3); it rises again when the downstream queue drains.
-            out_port.ready_bit = False
+            hub.ready_bits[out_index] = False
         yield out_port.out_fiber.send(packet)
         hub.count("packets_forwarded")
         if packet.close_after or closing:
@@ -218,12 +241,15 @@ class HubPort:
         derived from bytes serialised per sampling interval).
         """
         base = f"{self.hub.name}.p{self.index}"
+        hub = self.hub
+        index = self.index
         sampler.add_probe(
             f"{base}.queue_depth", lambda: float(len(self._arrivals)),
             description="packets waiting in the port input queue",
             unit="packets")
         sampler.add_probe(
-            f"{base}.ready", lambda: 1.0 if self.ready_bit else 0.0,
+            f"{base}.ready",
+            lambda: 1.0 if hub.ready_bits[index] else 0.0,
             description="ready bit (inter-HUB flow control, §4.2.3)")
         if self.out_fiber is not None:
             fiber = self.out_fiber
@@ -243,7 +269,9 @@ class HubPort:
     def reset(self) -> None:
         """Supervisor port reset: flush the queue, raise the ready bit."""
         self._arrivals.items.clear()
-        self.ready_bit = True
+        hub = self.hub
+        hub.queue_depths[self.index] = 0
+        hub.ready_bits[self.index] = True
         self.ready_changed.fire()
 
     def status(self) -> dict[str, Any]:

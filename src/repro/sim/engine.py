@@ -1,19 +1,29 @@
 """The discrete-event simulation engine.
 
 :class:`Simulator` owns the clock (integer nanoseconds) and the agenda — a
-priority queue of triggered events.  Hardware models and protocol code are
+calendar queue of triggered events.  Hardware models and protocol code are
 written as coroutine processes; the engine interleaves them in timestamp
 order, with FIFO tie-breaking for determinism.
 
 Hot-path design (see ``docs/PERFORMANCE.md`` for the full story):
 
-* :meth:`Simulator.run` drains the agenda in one inlined loop — no
-  per-event :meth:`step` call, no per-event method dispatch for the
-  common callback shapes.
-* Agenda entries are slim 3-tuples ``(time, key, event)`` where ``key``
-  packs urgency and the FIFO sequence into one integer
-  (:data:`repro.sim.events.NORMAL_KEY`).  Ordering is bit-for-bit the
-  classic ``(time, priority, seq)`` contract.
+* The agenda is a **calendar queue over timestamp cohorts**: a dict maps
+  each pending timestamp to the plain list of events scheduled at it, an
+  integer min-heap orders the *distinct* timestamps, and a ladder-style
+  overflow rung absorbs sparse far-future events (watchdog/RTO timers)
+  without polluting the heap.  Because the engine's FIFO sequence numbers
+  are globally increasing, appending to a cohort list *is* the classic
+  ``(time, priority, seq)`` ordering — bit for bit — with no per-event
+  key allocation and no per-event heap sift.
+* :meth:`Simulator.run` drains whole same-timestamp cohorts per bucket
+  lookup: one heap pop, one ``self.now`` write, then a straight scan of
+  the cohort list (which may grow while it is scanned — new events
+  scheduled *at* the current instant are appended and drained in the
+  same pass).
+* Events scheduled at the current instant while a cohort is draining —
+  every ``succeed``/``fail``, every process-resume carrier — are a
+  single ``list.append``; the heap is touched only when a *new* future
+  timestamp first appears.
 * Processed :class:`Timeout`/:class:`Event` objects that nothing else
   references (checked via ``sys.getrefcount``) are recycled on free
   lists, eliminating the dominant allocation of every fiber
@@ -25,21 +35,30 @@ Hot-path design (see ``docs/PERFORMANCE.md`` for the full story):
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from itertools import count
 from sys import getrefcount
 from typing import Any, Callable, Generator, Optional
 
-from .events import NORMAL_KEY, PENDING, _PROCESSED, AllOf, AnyOf, Event, \
-    Timeout
+from .events import PENDING, _PROCESSED, AllOf, AnyOf, Event, Timeout
 from .process import Process
 
 #: Free lists never grow past this many parked objects; beyond it the
 #: simulation's live-event population, not the pool, bounds memory.
 _POOL_LIMIT = 2048
 
-#: A processed event recycled from the drain loop is referenced only by
-#: the loop local plus ``getrefcount``'s own argument.
-_UNREFERENCED = 2
+#: A processed event recycled from the cohort drain loop is referenced by
+#: the cohort list it still sits in (cohorts are scanned, not popped),
+#: the loop local, and ``getrefcount``'s own argument.
+_UNREFERENCED_COHORT = 3
+
+#: Width of the near-future window covered by the calendar proper.
+#: Events scheduled at or past ``_horizon`` (which always sits at least
+#: this far ahead of the clock) drop onto the overflow rung instead —
+#: an unsorted append-only list, promoted wholesale into calendar
+#: buckets when the near window drains.  2^21 ns ≈ 2.1 ms of simulated
+#: time: comfortably past every per-hop/per-packet delay in the model,
+#: so only genuinely sparse timers (retransmit watchdogs, reassembly
+#: GC, health probes) ever take the rung detour.
+_RUNG_SPAN = 1 << 21
 
 
 class SimulationError(Exception):
@@ -85,8 +104,26 @@ class Simulator:
         #: a property: model code reads the clock on every hop/transfer,
         #: so the read must be one dict lookup.  Treat as read-only.
         self.now: int = 0
-        self._agenda: list[tuple[int, int, Any]] = []
-        self._sequence = count()
+        # Calendar-queue agenda.  Invariants (see docs/PERFORMANCE.md):
+        #  * every key of _buckets/_urgent_buckets is on the _times heap
+        #    (duplicates tolerated, deduplicated at pop);
+        #  * every bucket key < _horizon <= every rung entry's time;
+        #  * self.now < _horizon at all times, so scheduling at the
+        #    current instant never needs a horizon check;
+        #  * cohort lists are in FIFO (= global sequence) order, because
+        #    appends happen in scheduling order.
+        self._buckets: dict[int, list[Any]] = {}
+        self._urgent_buckets: dict[int, list[Any]] = {}
+        self._times: list[int] = []
+        self._far: list[tuple[int, Any]] = []
+        self._far_urgent: list[tuple[int, Any]] = []
+        self._horizon: int = _RUNG_SPAN
+        #: While :meth:`run` drains the cohort at ``self.now``, the live
+        #: cohort list; events scheduled at the current instant append
+        #: here and are processed in the same pass.
+        self._open_run: Optional[list[Any]] = None
+        #: Urgent arrivals for the open cohort (interrupt delivery).
+        self._open_urgent: list[Any] = []
         self._active_process: Optional[Process] = None
         self._halted: Optional[BaseException] = None
         self._halt_cause: Optional[BaseException] = None
@@ -104,6 +141,43 @@ class Simulator:
         """The process currently executing, if any."""
         return self._active_process
 
+    def _schedule(self, time: int, item: Any) -> None:
+        """Place ``item`` (normal urgency) on the agenda at ``time``.
+
+        Internal: callers guarantee ``time >= self.now``.  The hot
+        scheduling sites (``succeed``/``fail``, ``Timeout``, the timeout
+        free-list path) inline this dance; everything else lands here.
+        """
+        if time == self.now:
+            run = self._open_run
+            if run is not None:
+                run.append(item)
+                return
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is not None:
+            bucket.append(item)
+        elif time < self._horizon:
+            buckets[time] = [item]
+            heappush(self._times, time)
+        else:
+            self._far.append((time, item))
+
+    def _schedule_urgent(self, time: int, item: Any) -> None:
+        """Urgent variant: sorts before every normal event at ``time``."""
+        if time == self.now and self._open_run is not None:
+            self._open_urgent.append(item)
+            return
+        buckets = self._urgent_buckets
+        bucket = buckets.get(time)
+        if bucket is not None:
+            bucket.append(item)
+        elif time < self._horizon:
+            buckets[time] = [item]
+            heappush(self._times, time)
+        else:
+            self._far_urgent.append((time, item))
+
     def _enqueue(self, event: Any, delay: int, urgent: bool = False) -> None:
         """Place a triggered event on the agenda ``delay`` ticks from now.
 
@@ -112,15 +186,56 @@ class Simulator:
         non-negative delay (the single authoritative negative-delay check
         lives in :class:`~repro.sim.events.Timeout`).
         """
-        heappush(self._agenda,
-                 (self.now + delay,
-                  (0 if urgent else NORMAL_KEY) | next(self._sequence),
-                  event))
+        if urgent:
+            self._schedule_urgent(self.now + delay, event)
+        else:
+            self._schedule(self.now + delay, event)
+
+    def _promote(self) -> None:
+        """Fold the overflow rung back into calendar buckets.
+
+        Called when the near window has drained (or is peeked) while rung
+        entries remain.  Rung entries are appended in scheduling order, so
+        walking the rung in order preserves per-cohort FIFO; the horizon
+        then jumps past everything just promoted, restoring the
+        bucket-below/rung-above invariant.
+        """
+        buckets = self._buckets
+        urgent_buckets = self._urgent_buckets
+        times = self._times
+        max_time = 0
+        for time, item in self._far:
+            bucket = buckets.get(time)
+            if bucket is not None:
+                bucket.append(item)
+            else:
+                buckets[time] = [item]
+                heappush(times, time)
+            if time > max_time:
+                max_time = time
+        for time, item in self._far_urgent:
+            bucket = urgent_buckets.get(time)
+            if bucket is not None:
+                bucket.append(item)
+            else:
+                urgent_buckets[time] = [item]
+                heappush(times, time)
+            if time > max_time:
+                max_time = time
+        self._far.clear()
+        self._far_urgent.clear()
+        self._horizon = max(self.now + _RUNG_SPAN, max_time + 1)
 
     def _halt(self, error: BaseException,
               cause: Optional[BaseException] = None) -> None:
         self._halted = error
         self._halt_cause = cause
+
+    def _raise_halt(self) -> None:
+        """Consume and raise the stored halt (one-shot, path-independent)."""
+        error, self._halted = self._halted, None
+        cause, self._halt_cause = self._halt_cause, None
+        raise SimulationError(str(error)) from cause
 
     # ------------------------------------------------------------------
     # event factories
@@ -138,8 +253,16 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """An event that fires ``delay`` ticks from now with ``value``."""
+        if type(delay) is not int:
+            # One authoritative coercion for *both* the free-list and
+            # fresh-allocation paths (int() truncation toward zero, as
+            # documented).  Before this lived here, a float delay was
+            # truncated on the pool-miss path but shunted past the pool
+            # on hits — the same call site could round differently
+            # depending on pool state.
+            delay = int(delay)
         pool = self._timeout_pool
-        if pool and type(delay) is int:
+        if pool:
             if delay < 0:
                 # Mirror Timeout.__init__'s authoritative check (pinned
                 # by tests) so pool hits validate identically.
@@ -148,12 +271,22 @@ class Simulator:
             timeout.delay = delay
             timeout._ok = True
             timeout._value = value
-            heappush(self._agenda,
-                     (self.now + delay,
-                      NORMAL_KEY | next(self._sequence), timeout))
+            if delay == 0:
+                run = self._open_run
+                if run is not None:
+                    run.append(timeout)
+                    return timeout
+            time = self.now + delay
+            buckets = self._buckets
+            bucket = buckets.get(time)
+            if bucket is not None:
+                bucket.append(timeout)
+            elif time < self._horizon:
+                buckets[time] = [timeout]
+                heappush(self._times, time)
+            else:
+                self._far.append((time, timeout))
             return timeout
-        if type(delay) is not int:
-            delay = int(delay)
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator[Event, Any, Any],
@@ -178,18 +311,30 @@ class Simulator:
         event._ok = ok
         event._value = value
         event._cb = callback
-        heappush(self._agenda,
-                 (self.now,
-                  (0 if urgent else NORMAL_KEY) | next(self._sequence),
-                  event))
+        if urgent:
+            self._schedule_urgent(self.now, event)
+            return event
+        run = self._open_run
+        if run is not None:
+            run.append(event)
+            return event
+        # Cold path (scheduling from outside a drain): current-instant
+        # inserts never need the horizon check (now < _horizon always).
+        time = self.now
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is not None:
+            bucket.append(event)
+        else:
+            buckets[time] = [event]
+            heappush(self._times, time)
         return event
 
     def call_at(self, time: int, func: Callable[[], None]) -> None:
         """Run ``func()`` at absolute simulation time ``time``."""
         if time < self.now:
             raise ValueError(f"call_at({time}) is in the past (now={self.now})")
-        heappush(self._agenda,
-                 (time, NORMAL_KEY | next(self._sequence), _Call(func)))
+        self._schedule(time, _Call(func))
 
     def call_in(self, delay: int, func: Callable[[], None]) -> None:
         """Run ``func()`` ``delay`` ticks from now."""
@@ -200,95 +345,200 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def peek(self) -> Optional[int]:
-        """Timestamp of the next agenda entry, or None if idle."""
-        return self._agenda[0][0] if self._agenda else None
+        """Timestamp of the next agenda entry, or None if idle.
+
+        Reads the calendar head (the distinct-timestamp heap); if only
+        rung entries remain they are promoted first, so the answer is
+        exact either way.  The scale-out coordinator's per-window
+        lookahead is computed from this.
+        """
+        if self._times:
+            return self._times[0]
+        if self._far or self._far_urgent:
+            self._promote()
+            return self._times[0]
+        return None
 
     def step(self) -> None:
         """Process exactly one agenda entry.
 
         The single-stepping path keeps the historical structure (no
         free-list recycling); :meth:`run` is the optimized drain loop.
+        Both raise a pending halt the same way: immediately on entry,
+        whatever the agenda state, consuming it as they do.
         """
         if self._halted is not None:
-            raise SimulationError(str(self._halted)) from self._halt_cause
-        if not self._agenda:
-            raise RuntimeError("step() on an empty agenda")
-        when, _key, event = heappop(self._agenda)
-        self.now = when
+            self._raise_halt()
+        times = self._times
+        if not times:
+            if self._far or self._far_urgent:
+                self._promote()
+            else:
+                raise RuntimeError("step() on an empty agenda")
+        time = times[0]
+        urgent_buckets = self._urgent_buckets
+        bucket = urgent_buckets.get(time)
+        if bucket is not None:
+            event = bucket.pop(0)
+            if not bucket:
+                del urgent_buckets[time]
+        else:
+            bucket = self._buckets[time]
+            event = bucket.pop(0)
+            if not bucket:
+                del self._buckets[time]
+        if time not in self._buckets and time not in urgent_buckets:
+            heappop(times)
+            while times and times[0] == time:  # drop heap duplicates
+                heappop(times)
+        self.now = time
         self.events_processed += 1
         event._run_callbacks()
         if self._halted is not None:
-            error, self._halted = self._halted, None
-            cause, self._halt_cause = self._halt_cause, None
-            raise SimulationError(str(error)) from cause
+            self._raise_halt()
+
+    def _drain_urgent(self) -> int:
+        """Process queued urgent arrivals for the open cohort.
+
+        Rare (interrupt delivery).  Stops at a halt so the drain loop's
+        halt check sees it with the remaining urgents still queued.
+        """
+        queue = self._open_urgent
+        processed = 0
+        while queue and self._halted is None:
+            event = queue.pop(0)
+            processed += 1
+            event._run_callbacks()
+        return processed
 
     def run(self, until: Optional[int] = None) -> int:
         """Run until the agenda drains or the clock would pass ``until``.
 
         With ``until`` given, all events with timestamp ``<= until`` are
         processed and the clock is then advanced to exactly ``until``.
-        Returns the final clock value.
+        Returns the final clock value.  A halt stored by a crashed
+        process is raised on entry even when the agenda is empty or its
+        next entry lies beyond ``until`` — a pending halt is never
+        silently swallowed.
         """
         if until is not None and until < self.now:
             raise ValueError(f"run(until={until}) is in the past "
                              f"(now={self.now})")
-        limit = float("inf") if until is None else until
-        agenda = self._agenda
-        if agenda and self._halted is not None and agenda[0][0] <= limit:
-            raise SimulationError(str(self._halted)) from self._halt_cause
-        pop = heappop
+        if self._halted is not None:
+            self._raise_halt()
+        limit: Any = float("inf") if until is None else until
+        buckets = self._buckets
+        urgent_buckets = self._urgent_buckets
+        times = self._times
+        urgent_queue = self._open_urgent
+        pop_time = heappop
         refcount = getrefcount
         timeout_pool = self._timeout_pool
         event_pool = self._event_pool
         processed = 0
+        time = self.now
+        run_list: list[Any] = []
+        index = -1
         try:
-            while agenda and agenda[0][0] <= limit:
-                when, _key, event = pop(agenda)
-                self.now = when
-                processed += 1
-                # Branches ordered by frequency: Timeout dominates every
-                # hardware model, then plain Events, then _Call wrappers.
-                # Recycling (the two exact-class branches) only fires when
-                # nothing else can see the object; subclasses like
-                # Process/Condition carry extra state and stay out.
-                cls = event.__class__
-                if cls is Timeout:
-                    cb = event._cb
-                    event._cb = _PROCESSED
-                    if cb is not None:
-                        if type(cb) is list:
-                            for callback in cb:
-                                callback(event)
-                        else:
-                            cb(event)
-                    if len(timeout_pool) < _POOL_LIMIT \
-                            and refcount(event) == _UNREFERENCED:
-                        event._cb = None
-                        timeout_pool.append(event)
-                elif cls is _Call:
-                    event._fn()
-                else:
-                    cb = event._cb
-                    event._cb = _PROCESSED
-                    if cb is not None:
-                        if type(cb) is list:
-                            for callback in cb:
-                                callback(event)
-                        else:
-                            cb(event)
-                    if cls is Event \
-                            and len(event_pool) < _POOL_LIMIT \
-                            and refcount(event) == _UNREFERENCED:
-                        event._cb = None
-                        event_pool.append(event)
-                if self._halted is not None:
-                    error, self._halted = self._halted, None
-                    cause, self._halt_cause = self._halt_cause, None
-                    raise SimulationError(str(error)) from cause
+            while True:
+                if not times:
+                    if self._far or self._far_urgent:
+                        self._promote()
+                    else:
+                        break
+                time = times[0]
+                if time > limit:
+                    break
+                pop_time(times)
+                while times and times[0] == time:  # drop heap duplicates
+                    pop_time(times)
+                cohort = buckets.pop(time, None)
+                run_list = [] if cohort is None else cohort
+                if urgent_buckets:
+                    pending = urgent_buckets.pop(time, None)
+                    if pending:
+                        urgent_queue.extend(pending)
+                index = -1
+                self.now = time
+                self._open_run = run_list
+                if urgent_queue:
+                    processed += self._drain_urgent()
+                    if self._halted is not None:
+                        self._raise_halt()
+                # The cohort scan: run_list may grow while scanned (events
+                # scheduled at this instant append to it); the list
+                # iterator picks the new entries up in FIFO order.  The
+                # index is counted by hand — enumerate() would work, but
+                # its reused result tuple pins an extra reference to the
+                # current event and defeats the refcount recycling check.
+                # Branches are ordered by frequency: Timeout dominates
+                # every hardware model, then plain Events, then _Call
+                # wrappers.  Recycling (the two exact-class branches)
+                # only fires when nothing else can see the object;
+                # subclasses like Process/Condition carry extra state
+                # and stay out.
+                for event in run_list:
+                    index += 1
+                    processed += 1
+                    cls = event.__class__
+                    if cls is Timeout:
+                        cb = event._cb
+                        event._cb = _PROCESSED
+                        if cb is not None:
+                            if type(cb) is list:
+                                for callback in cb:
+                                    callback(event)
+                            else:
+                                cb(event)
+                        if len(timeout_pool) < _POOL_LIMIT \
+                                and refcount(event) == _UNREFERENCED_COHORT:
+                            event._cb = None
+                            timeout_pool.append(event)
+                    elif cls is _Call:
+                        event._fn()
+                    else:
+                        cb = event._cb
+                        event._cb = _PROCESSED
+                        if cb is not None:
+                            if type(cb) is list:
+                                for callback in cb:
+                                    callback(event)
+                            else:
+                                cb(event)
+                        if cls is Event \
+                                and len(event_pool) < _POOL_LIMIT \
+                                and refcount(event) == _UNREFERENCED_COHORT:
+                            event._cb = None
+                            event_pool.append(event)
+                    if urgent_queue:
+                        processed += self._drain_urgent()
+                    if self._halted is not None:
+                        self._raise_halt()
+                self._open_run = None
         finally:
             self.events_processed += processed
+            open_run = self._open_run
+            if open_run is not None:
+                # Exceptional exit mid-cohort (halt or a callback raise):
+                # push the unprocessed remainder back so a later run() or
+                # step() resumes exactly where the heap engine would have.
+                self._open_run = None
+                rest = open_run[index + 1:]
+                if rest or urgent_queue:
+                    if rest:
+                        buckets[time] = rest
+                    if urgent_queue:
+                        urgent_buckets[time] = list(urgent_queue)
+                        del urgent_queue[:]
+                    heappush(times, time)
         if until is not None:
             self.now = until
+            if until >= self._horizon:
+                # Keep the now-below-horizon invariant across idle gaps.
+                if self._far or self._far_urgent:
+                    self._promote()
+                else:
+                    self._horizon = until + _RUNG_SPAN
         return self.now
 
     def run_process(self, generator: Generator[Event, Any, Any],

@@ -12,11 +12,15 @@ is registered, a bare callable for the overwhelmingly common single-waiter
 case, and a list only once a second waiter appears.  A dedicated
 ``_PROCESSED`` sentinel marks the post-callback state (the public
 :attr:`Event.processed` / :attr:`Event.callbacks` views are unchanged).
-Agenda ordering packs ``(priority, sequence)`` into one integer key —
-``priority`` selects the high bit so urgent events still sort first at a
-timestamp, and the globally increasing sequence keeps FIFO tie-breaking —
-which preserves the ``(time, priority, seq)`` ordering contract bit for
-bit while halving the tuple comparisons per heap operation.
+Triggering appends the event to its timestamp's cohort list in the
+simulator's calendar-queue agenda — appends happen in scheduling order,
+so the cohort list *is* the classic ``(time, priority, seq)`` FIFO
+order, with no per-event sequence number or heap sift at all.  The
+trigger sites here inline the calendar insert (see
+:meth:`repro.sim.engine.Simulator._schedule` for the annotated copy):
+``succeed``/``fail`` fire at the current instant, which the engine
+guarantees lies below the overflow-rung horizon, while
+:class:`Timeout` may land arbitrarily far out and so checks it.
 """
 
 from __future__ import annotations
@@ -32,11 +36,6 @@ PENDING = object()
 
 #: Sentinel stored in ``_cb`` once an event's callbacks have run.
 _PROCESSED = object()
-
-#: High bit of the packed agenda key: normal events carry it, urgent
-#: events do not, so urgent sorts first at equal timestamps.  The low 62
-#: bits hold the global FIFO sequence number.
-NORMAL_KEY = 1 << 62
 
 
 class Event:
@@ -102,8 +101,18 @@ class Event:
         self._ok = True
         self._value = value
         sim = self.sim
-        heappush(sim._agenda,
-                 (sim.now, NORMAL_KEY | next(sim._sequence), self))
+        run = sim._open_run
+        if run is not None:
+            run.append(self)
+            return self
+        time = sim.now
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is not None:
+            bucket.append(self)
+        else:
+            buckets[time] = [self]
+            heappush(sim._times, time)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -118,8 +127,18 @@ class Event:
         self._ok = False
         self._value = exception
         sim = self.sim
-        heappush(sim._agenda,
-                 (sim.now, NORMAL_KEY | next(sim._sequence), self))
+        run = sim._open_run
+        if run is not None:
+            run.append(self)
+            return self
+        time = sim.now
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is not None:
+            bucket.append(self)
+        else:
+            buckets[time] = [self]
+            heappush(sim._times, time)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -185,8 +204,21 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self.delay = delay
-        heappush(sim._agenda,
-                 (sim.now + delay, NORMAL_KEY | next(sim._sequence), self))
+        time = sim.now + delay
+        if delay == 0:
+            run = sim._open_run
+            if run is not None:
+                run.append(self)
+                return
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is not None:
+            bucket.append(self)
+        elif time < sim._horizon:
+            buckets[time] = [self]
+            heappush(sim._times, time)
+        else:
+            sim._far.append((time, self))
 
 
 class Condition(Event):

@@ -144,6 +144,12 @@ class Container:
     def get(self, amount: int) -> Event:
         if amount <= 0:
             raise ValueError(f"get amount must be positive, got {amount}")
+        if amount > self.capacity:
+            # Mirrors put(): a request larger than the container can ever
+            # hold would otherwise park its waiter forever with no
+            # diagnostic.
+            raise ValueError(f"get of {amount} exceeds capacity "
+                             f"{self.capacity}")
         event = self.sim.event()
         self._getters.append((event, amount))
         self._service()

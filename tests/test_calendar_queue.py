@@ -1,0 +1,314 @@
+"""Edge-case tests for the calendar-queue agenda (repro.sim.engine).
+
+The engine replaced its heapq agenda with a calendar queue: dict buckets
+of same-timestamp cohorts, an integer heap over the distinct timestamps,
+and a ladder-style overflow rung for sparse far-future events.  These
+tests pin the structural edge cases — rung demotion/promotion, urgent
+ordering, cohort FIFO — and a randomized differential test replays the
+same schedule through the *old* heap ordering (kept here as a reference
+implementation) asserting the pop order is identical.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import _Call, _RUNG_SPAN
+
+#: The old agenda's packed-key layout, kept as the ordering oracle:
+#: normal events carry the high bit, urgent events do not, so urgent
+#: sorts first at equal timestamps; low bits hold the FIFO sequence.
+NORMAL_KEY = 1 << 62
+
+
+class TestOverflowRung:
+    def test_far_future_event_demoted_to_rung(self, sim):
+        """An event past the horizon bypasses the bucket heap."""
+        far = _RUNG_SPAN + 123
+        sim.timeout(far)
+        assert sim._far, "expected the timer on the overflow rung"
+        assert not sim._times, "rung events must not pollute the heap"
+
+    def test_near_future_event_stays_in_buckets(self, sim):
+        sim.timeout(_RUNG_SPAN - 1)
+        assert not sim._far
+        assert sim._times == [_RUNG_SPAN - 1]
+
+    def test_rung_promoted_when_near_window_drains(self, sim):
+        fired = []
+        far = _RUNG_SPAN + 500
+        sim.call_at(far, lambda: fired.append(sim.now))
+        sim.timeout(100)
+        sim.run()
+        assert fired == [far]
+        assert sim.now == far
+        assert not sim._far
+
+    def test_peek_promotes_and_reads_rung_head(self, sim):
+        far = _RUNG_SPAN + 7
+        sim.call_at(far, lambda: None)
+        assert sim.peek() == far
+
+    def test_promotion_preserves_fifo_within_timestamp(self, sim):
+        """Two timers demoted to the rung at the same far timestamp must
+        still fire in scheduling order after promotion."""
+        fired = []
+        far = _RUNG_SPAN + 40
+        for tag in range(4):
+            sim.call_at(far, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_horizon_advances_past_promoted_events(self, sim):
+        far = _RUNG_SPAN * 3 + 9
+        sim.call_at(far, lambda: None)
+        sim.run()
+        assert sim.now == far
+        assert sim._horizon > far
+
+    def test_run_until_idle_gap_keeps_horizon_ahead(self, sim):
+        """run(until) may fling the clock past the horizon with an empty
+        agenda; scheduling afterwards must still order correctly."""
+        sim.run(until=_RUNG_SPAN * 5)
+        assert sim._horizon > sim.now
+        fired = []
+        sim.timeout(10).add_callback(lambda ev: fired.append(sim.now))
+        sim.timeout(_RUNG_SPAN + 10).add_callback(
+            lambda ev: fired.append(sim.now))
+        sim.run()
+        base = _RUNG_SPAN * 5
+        assert fired == [base + 10, base + _RUNG_SPAN + 10]
+
+    def test_interleaved_near_and_far_rounds(self, sim):
+        """Alternate near/far work across several promotion cycles."""
+        fired = []
+
+        def ping(round_no):
+            if round_no >= 4:
+                return
+            fired.append((round_no, sim.now))
+            sim.call_in(_RUNG_SPAN + 1, lambda: ping(round_no + 1))
+            sim.call_in(5, lambda: fired.append(("near", sim.now)))
+
+        ping(0)
+        sim.run()
+        rounds = [entry for entry in fired if isinstance(entry[0], int)]
+        assert [r for r, _ in rounds] == [0, 1, 2, 3]
+        times = [t for _, t in rounds]
+        assert times == sorted(times)
+        assert len([e for e in fired if e[0] == "near"]) == 4
+
+
+class TestUrgentOrdering:
+    def test_urgent_sorts_before_normal_at_same_timestamp(self, sim):
+        """An urgent event scheduled *after* a normal one at the same
+        instant still runs first (the old heap's key layout)."""
+        order = []
+        sim._carrier(True, None, lambda ev: order.append("normal"))
+        sim._carrier(True, None, lambda ev: order.append("urgent"),
+                     urgent=True)
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+    def test_urgent_fifo_among_themselves(self, sim):
+        order = []
+        for tag in range(3):
+            sim._carrier(True, None, lambda ev, t=tag: order.append(t),
+                         urgent=True)
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_interrupt_preempts_same_tick_resume(self, sim):
+        """Process.interrupt delivers via the urgent path: the
+        interrupted process resumes before other work at that instant."""
+        order = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+                order.append("slept")
+            except Exception:
+                order.append("interrupted")
+
+        proc = sim.process(sleeper())
+
+        def poker():
+            yield sim.timeout(50)
+            sim.call_at(50, lambda: order.append("same-tick"))
+            proc.interrupt("wake")
+
+        sim.process(poker())
+        sim.run()
+        assert order == ["interrupted", "same-tick"]
+
+    def test_far_future_urgent_takes_rung_detour(self, sim):
+        """Urgent entries past the horizon ride their own rung."""
+        order = []
+        far = _RUNG_SPAN + 30
+        sim._schedule_urgent(far, _Call(lambda: order.append("urgent")))
+        sim._schedule(far, _Call(lambda: order.append("normal")))
+        assert sim._far_urgent and sim._far
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+
+class TestCohortFifo:
+    def test_interleaved_call_at_timeout_succeed_fifo(self, sim):
+        """Mixed entry kinds at one timestamp fire in scheduling order."""
+        order = []
+        sim.call_at(50, lambda: order.append("call-1"))
+        sim.timeout(50).add_callback(lambda ev: order.append("timeout-1"))
+        event = sim.event()
+        sim.call_at(50, lambda: event.succeed())
+        event.add_callback(lambda ev: order.append("succeed"))
+        sim.timeout(50).add_callback(lambda ev: order.append("timeout-2"))
+        sim.call_at(50, lambda: order.append("call-2"))
+        sim.run()
+        # The succeed() happens *during* the t=50 drain, so its event
+        # joins the tail of the open cohort — exactly the old heap's
+        # behaviour (its sequence number was drawn at trigger time).
+        assert order == ["call-1", "timeout-1", "timeout-2", "call-2",
+                         "succeed"]
+
+    def test_same_instant_appends_drain_in_same_pass(self, sim):
+        """Zero-delay chains scheduled mid-drain run at the same now."""
+        order = []
+
+        def chain(depth):
+            order.append(depth)
+            if depth < 5:
+                sim.call_in(0, lambda: chain(depth + 1))
+
+        sim.call_at(10, lambda: chain(0))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 10
+
+    def test_step_matches_run_order(self):
+        """Single-stepping must visit events in exactly run() order."""
+        def build(record):
+            sim = Simulator()
+            for tag in range(3):
+                sim.call_at(20, lambda t=tag: record.append(("a", t)))
+            sim.call_at(10, lambda: record.append(("b", 0)))
+            sim.timeout(20).add_callback(lambda ev: record.append(("c", 0)))
+            sim._carrier(True, None, lambda ev: record.append(("u", 0)),
+                         urgent=True)
+            return sim
+
+        via_run = []
+        build(via_run).run()
+        via_step = []
+        stepper = build(via_step)
+        while stepper.peek() is not None:
+            stepper.step()
+        assert via_step == via_run
+
+
+class _HeapReference:
+    """The pre-calendar-queue agenda, kept as the ordering oracle.
+
+    Reimplements the old engine's contract: a single heap of
+    ``(time, NORMAL_KEY-packed key, label)`` entries with a global
+    sequence counter drawn at scheduling time.
+    """
+
+    def __init__(self):
+        import heapq
+        self._heapq = heapq
+        self.heap = []
+        self.seq = 0
+        self.now = 0
+
+    def schedule(self, time, label, urgent=False):
+        key = (0 if urgent else NORMAL_KEY) | self.seq
+        self.seq += 1
+        self._heapq.heappush(self.heap, (time, key, label))
+
+    def drain(self, on_pop):
+        while self.heap:
+            time, _key, label = self._heapq.heappop(self.heap)
+            self.now = time
+            on_pop(label)
+
+
+class TestDifferentialVsHeap:
+    """Randomized schedules through both agendas must pop identically."""
+
+    DELAY_CHOICES = (0, 0, 0, 1, 1, 3, 7, 40, 40, 1000,
+                     _RUNG_SPAN + 11, _RUNG_SPAN * 2 + 5)
+
+    @pytest.mark.parametrize("seed", [7, 1989, 20260808])
+    def test_identical_pop_order(self, seed):
+        rng = random.Random(seed)
+        spec = self._random_spec(rng, breadth=40, max_children=3, depth=3)
+
+        sim = Simulator()
+        engine_order = []
+        self._drive_engine(sim, spec, engine_order)
+        sim.run()
+
+        ref = _HeapReference()
+        reference_order = []
+        self._drive_reference(ref, spec, reference_order)
+
+        assert engine_order == reference_order
+        assert len(engine_order) == self._count(spec)
+
+    def _random_spec(self, rng, breadth, max_children, depth):
+        """An op tree: (delay, urgent, children).  Children are scheduled
+        relative to the moment their parent is *processed*, which is what
+        makes the two implementations genuinely diverge if cohort handling
+        or rung promotion reorders anything."""
+        counter = [0]
+
+        def node(level):
+            counter[0] += 1
+            delay = rng.choice(self.DELAY_CHOICES)
+            urgent = rng.random() < 0.15
+            children = []
+            if level < depth:
+                for _ in range(rng.randrange(max_children + 1)):
+                    children.append(node(level + 1))
+            return (delay, urgent, children, counter[0])
+
+        return [node(0) for _ in range(breadth)]
+
+    def _count(self, spec):
+        return sum(1 + self._count(children)
+                   for _delay, _urgent, children, _id in spec)
+
+    def _drive_engine(self, sim, spec, order):
+        def arm(node):
+            delay, urgent, children, node_id = node
+
+            def fire():
+                order.append(node_id)
+                for child in children:
+                    arm(child)
+
+            item = _Call(fire)
+            if urgent:
+                sim._schedule_urgent(sim.now + delay, item)
+            else:
+                sim._schedule(sim.now + delay, item)
+
+        for node in spec:
+            arm(node)
+
+    def _drive_reference(self, ref, spec, order):
+        def arm(node):
+            delay, urgent, children, node_id = node
+
+            def fire(_label):
+                order.append(node_id)
+                for child in children:
+                    arm(child)
+
+            ref.schedule(ref.now + delay, fire, urgent=urgent)
+
+        for node in spec:
+            arm(node)
+        ref.drain(lambda fire: fire(None))
+

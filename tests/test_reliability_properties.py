@@ -13,8 +13,15 @@ from repro.topology import single_hub_system
 
 def lossy_system(seed, drop, corrupt=0.0):
     cfg = NectarConfig(seed=seed)
-    cfg = cfg.with_overrides(fiber=replace(
-        cfg.fiber, drop_probability=drop, corrupt_probability=corrupt))
+    # The shipped max_retransmits=10 bounds time-to-peer-failure for the
+    # resilience layer; at drop=0.25 with lossy acks a packet exhausts it
+    # with probability ~0.44^11 ≈ 1e-4 per example, so the "any loss"
+    # property needs a persistence budget matched to the sampled rates
+    # (0.44^65 is beyond any seed Hypothesis will ever draw).
+    cfg = cfg.with_overrides(
+        fiber=replace(cfg.fiber, drop_probability=drop,
+                      corrupt_probability=corrupt),
+        transport=replace(cfg.transport, max_retransmits=64))
     return single_hub_system(2, cfg=cfg)
 
 

@@ -201,6 +201,107 @@ class TestEvents:
         sim.run()
         assert timeout.value == "done"
 
+    def test_float_delay_truncates_on_fresh_path(self, sim):
+        """Non-int delays are coerced once, up front, via int()."""
+        timeout = sim.timeout(5.9)
+        assert timeout.delay == 5
+        sim.run()
+        assert sim.now == 5
+
+    def test_float_delay_truncates_identically_on_pool_hit(self, sim):
+        """Pool-hit and pool-miss paths must round the same way.  (The
+        pool-hit path used to demand exact ints, so the same call site
+        could behave differently depending on free-list state.)"""
+        sim.timeout(0)
+        sim.run()
+        assert sim._timeout_pool, "expected a recycled Timeout on the pool"
+        timeout = sim.timeout(5.9)
+        assert timeout.delay == 5
+        sim.run()
+        assert sim.now == 5
+
+    def test_negative_float_delay_same_message_both_paths(self, sim):
+        """int() truncation happens before validation, on both paths."""
+        with pytest.raises(ValueError, match=r"^negative timeout delay -1$"):
+            sim.timeout(-1.5)
+        sim.timeout(0)
+        sim.run()
+        assert sim._timeout_pool
+        with pytest.raises(ValueError, match=r"^negative timeout delay -1$"):
+            sim.timeout(-1.5)
+
+    def test_small_negative_float_truncates_to_zero(self, sim):
+        """int(-0.9) == 0: truncation toward zero is the documented
+        coercion, so a tiny negative float is a zero-delay timeout."""
+        timeout = sim.timeout(-0.9)
+        assert timeout.delay == 0
+        sim.run()
+        assert timeout.processed
+
+
+class TestHaltDelivery:
+    """A stored halt must never be swallowed (the old drain loop only
+    re-raised when the agenda still held an entry within the limit)."""
+
+    def _crash_at(self, sim, when):
+        def body():
+            yield sim.timeout(when)
+            raise RuntimeError("boom")
+        sim.process(body())
+
+    def test_run_raises_halt_with_empty_agenda(self, sim):
+        """Crash in the very last agenda entry: nothing is left to
+        process, but run() must still raise."""
+        self._crash_at(sim, 10)
+        with pytest.raises(SimulationError, match="boom"):
+            sim.run()
+
+    def test_run_raises_halt_when_next_entry_beyond_until(self, sim):
+        """Crash inside the window with the only other work beyond it."""
+        self._crash_at(sim, 10)
+        sim.call_at(10_000, lambda: None)
+        with pytest.raises(SimulationError, match="boom"):
+            sim.run(until=100)
+
+    def test_pending_halt_raised_on_entry_even_when_idle(self, sim):
+        sim._halt(RuntimeError("stored"))
+        with pytest.raises(SimulationError, match="stored"):
+            sim.run()
+
+    def test_step_and_run_agree_on_pending_halt(self):
+        """step() and run() must behave identically: both raise a
+        pending halt immediately, whatever the agenda state."""
+        for method in ("run", "step"):
+            sim = Simulator()
+            sim._halt(RuntimeError("stored"))
+            with pytest.raises(SimulationError, match="stored"):
+                getattr(sim, method)()
+
+    def test_halt_is_one_shot(self, sim):
+        """Raising the halt consumes it; the simulation can continue."""
+        self._crash_at(sim, 10)
+        sim.call_at(20, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run()
+        sim.run()  # must not re-raise
+        assert sim.now == 20
+
+    def test_events_after_crash_survive_for_next_run(self, sim):
+        """A crash mid-cohort preserves the unprocessed remainder."""
+        fired = []
+        sim.call_at(10, lambda: fired.append("before"))
+        self._crash_at(sim, 10)
+        # Scheduled from inside the t=0 bootstrap so it lands in the
+        # t=10 cohort *after* the crashing process's resume event.
+        sim.call_at(0, lambda: sim.call_at(10, lambda: fired.append("after")))
+        sim.call_at(30, lambda: fired.append("later"))
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert fired == ["before"]
+        sim.run()
+        assert fired == ["before", "after", "later"]
+        assert sim.now == 30
+
 
 class TestConditions:
     def test_all_of_waits_for_every_event(self, sim):

@@ -112,6 +112,29 @@ class TestContainer:
         with pytest.raises(ValueError):
             Container(sim, capacity=10, initial=11)
 
+    def test_get_over_capacity_raises(self, sim):
+        """A get() larger than the container can ever hold used to park
+        its waiter forever; it must fail loudly, mirroring put()."""
+        tank = Container(sim, capacity=10, initial=10)
+        with pytest.raises(ValueError,
+                           match=r"^get of 11 exceeds capacity 10$"):
+            tank.get(11)
+        # The container is untouched and still serves valid requests.
+        done = []
+        def consumer():
+            yield tank.get(10)
+            done.append(sim.now)
+        sim.process(consumer())
+        sim.run()
+        assert done == [0]
+        assert tank.level == 0
+
+    def test_put_over_capacity_message_parity(self, sim):
+        tank = Container(sim, capacity=10)
+        with pytest.raises(ValueError,
+                           match=r"^put of 11 exceeds capacity 10$"):
+            tank.put(11)
+
     def test_put_over_capacity_rejected(self, sim):
         tank = Container(sim, capacity=10)
         with pytest.raises(ValueError):

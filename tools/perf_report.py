@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Any, Optional
 
@@ -87,10 +88,12 @@ def compare_runs(old: dict[str, Any], new: dict[str, Any],
         raise SystemExit("no scenarios in common")
     rows = []
     worst = float("inf")
+    log_sum = 0.0
     for name in shared:
         ratio = (new[name]["events_per_sec"] / old[name]["events_per_sec"]
                  if old[name]["events_per_sec"] else float("nan"))
         worst = min(worst, ratio)
+        log_sum += math.log(ratio) if ratio > 0 else float("-inf")
         same = "yes" if old[name]["digest"] == new[name]["digest"] else "NO"
         rows.append((name,
                      f"{old[name]['events_per_sec']:,.0f}",
@@ -98,6 +101,9 @@ def compare_runs(old: dict[str, Any], new: dict[str, Any],
                      f"{ratio:.2f}x", same))
     print(render_table(
         rows, ("scenario", "old ev/s", "new ev/s", "speedup", "digest=")))
+    aggregate = math.exp(log_sum / len(shared))
+    print(f"aggregate speedup (geometric mean over {len(shared)} "
+          f"scenarios): {aggregate:.2f}x")
     for name in sorted(set(old) ^ set(new)):
         side = "old" if name in old else "new"
         print(f"  ({name}: only in {side})")
@@ -115,6 +121,12 @@ def main(argv: list[str]) -> int:
                         help="compare two documents: OLD NEW")
     parser.add_argument("--label", default=None,
                         help="run label to compare (default: last in file)")
+    parser.add_argument("--old-label", default=None,
+                        help="run label for the OLD file only "
+                             "(overrides --label)")
+    parser.add_argument("--new-label", default=None,
+                        help="run label for the NEW file only "
+                             "(overrides --label)")
     parser.add_argument("--min-ratio", type=float, default=None,
                         help="fail (exit 1) if any scenario's speedup "
                              "is below this")
@@ -122,9 +134,11 @@ def main(argv: list[str]) -> int:
     if args.compare:
         if len(args.paths) != 2:
             parser.error("--compare needs exactly two files: OLD NEW")
-        old_label, old = pick_run(load(args.paths[0]), args.label,
+        old_label, old = pick_run(load(args.paths[0]),
+                                  args.old_label or args.label,
                                   args.paths[0])
-        new_label, new = pick_run(load(args.paths[1]), args.label,
+        new_label, new = pick_run(load(args.paths[1]),
+                                  args.new_label or args.label,
                                   args.paths[1])
         print(f"compare {args.paths[0]}[{old_label}] -> "
               f"{args.paths[1]}[{new_label}]:")
