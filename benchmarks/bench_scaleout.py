@@ -12,7 +12,8 @@ scenario at 256 CABs demonstrates the >= 256-node scale the CLI
 
 import pytest
 
-from repro.scaleout import run_partitioned, run_single, scenarios
+from repro.scaleout import (escl_campaign, run_partitioned, run_single,
+                            scenarios)
 from repro.stats import ExperimentTable
 
 PARTITION_COUNTS = (1, 2, 4)
@@ -79,3 +80,56 @@ def test_escl_torus256_partitioned_is_bit_identical(benchmark):
     benchmark.extra_info.update(result)
     assert result["match"], \
         "256-CAB partitioned digest diverged from single-process"
+
+
+@pytest.mark.benchmark(group="E-SCL-scaleout")
+def test_escl6_recovery_overhead(benchmark):
+    """E-SCL6: wall-clock cost of one mid-run worker kill + replay.
+
+    Runs the 64-CAB torus at 4 partitions clean, then again with a
+    seeded worker-kill campaign that SIGKILLs one worker mid-run.  The
+    recovery path — detect the death, respawn, replay the window log —
+    must reproduce the clean digest bit-for-bit; the measured quantity
+    is the recovery overhead factor (chaos wall / clean wall).
+    """
+    def run():
+        scenario = scenarios()["escl-torus-64"]
+        reference = run_single(scenario)
+        clean = run_partitioned(scenario, 4)
+        kills = escl_campaign("worker-kill", scenario.config(),
+                              partitions=4)
+        chaos = run_partitioned(scenario, 4, faults=kills,
+                                backoff_base_s=0.01)
+        return {
+            "match": (clean.digest == reference.digest
+                      and chaos.digest == reference.digest
+                      and chaos.events == reference.events),
+            "events": reference.events,
+            "worker_kills": chaos.worker_kills,
+            "restarts": chaos.restarts,
+            "replayed_windows": chaos.replayed_windows,
+            "clean_wall_s": round(clean.wall_s, 4),
+            "chaos_wall_s": round(chaos.wall_s, 4),
+            "recovery_overhead_x": round(
+                chaos.wall_s / clean.wall_s, 3) if clean.wall_s else 0.0,
+            "digest": reference.digest,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    table = ExperimentTable(
+        "E-SCL6", "64-CAB 4D torus, 4 partitions, one mid-run SIGKILL")
+    table.add("workers killed / restarts", "1 / 1",
+              f"{result['worker_kills']} / {result['restarts']}")
+    table.add("windows replayed", "-",
+              f"{result['replayed_windows']}")
+    table.add("recovery overhead", "-",
+              f"{result['recovery_overhead_x']:.2f}x wall "
+              f"({result['clean_wall_s']:.3f}s -> "
+              f"{result['chaos_wall_s']:.3f}s)")
+    table.add("chaos digest bit-identical to clean", "yes",
+              "yes" if result["match"] else "NO", result["match"])
+    table.print()
+    assert result["restarts"] >= 1, "the kill never fired"
+    assert result["match"], \
+        "recovery did not reproduce the clean single-process digest"

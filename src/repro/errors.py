@@ -6,7 +6,8 @@ __all__ = [
     "NectarError", "ConfigError", "TopologyError", "RouteError",
     "HubCommandError", "DatalinkError", "TransportError", "ChecksumError",
     "MailboxError", "ProtectionFault", "AllocationError", "NodeError",
-    "NectarineError", "WorkloadError", "ObserveError", "CollectiveError"
+    "NectarineError", "WorkloadError", "ObserveError", "CollectiveError",
+    "ScaleoutError"
 ]
 
 
@@ -72,3 +73,18 @@ class ObserveError(NectarError):
 
 class CollectiveError(NectarError):
     """A collective operation failed or timed out (never hangs)."""
+
+
+class ScaleoutError(NectarError):
+    """A partitioned scale-out run could not be completed.
+
+    Raised by the crash-tolerant coordinator when a worker's restart
+    budget is exhausted (or a worker process leaks past SIGKILL).
+    Carries ``forensics``: one dict per partition with the last window
+    reached, events processed, restart count, exit code, and the recorded
+    failure history — everything the post-mortem needs.
+    """
+
+    def __init__(self, message: str, forensics: list | None = None) -> None:
+        super().__init__(message)
+        self.forensics = forensics or []

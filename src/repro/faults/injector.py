@@ -18,7 +18,8 @@ from typing import TYPE_CHECKING, Optional
 from ..errors import ConfigError
 from ..hardware.frames import HubCommand
 from ..hardware.hub_commands import CommandOp
-from .scenario import CAB_KINDS, FIBER_KINDS, PORT_KINDS, FaultScenario
+from .scenario import (CAB_KINDS, FIBER_KINDS, PORT_KINDS, PROCESS_KINDS,
+                       FaultScenario)
 
 __all__ = ["FaultInjector"]
 
@@ -33,16 +34,24 @@ class FaultInjector:
     """Schedules one :class:`FaultScenario` against a built system."""
 
     def __init__(self, system: "NectarSystem",
-                 scenario: FaultScenario) -> None:
+                 scenario: FaultScenario, *, strict: bool = True) -> None:
         self.system = system
         self.scenario = scenario
         self.sim = system.sim
+        #: Strict resolution (the default) rejects target globs that
+        #: match nothing.  Non-strict mode records them in ``skipped``
+        #: instead — the scale-out supervisor uses this to hand every
+        #: partition the *same* campaign and let each worker apply only
+        #: the slice whose targets it materialized locally.
+        self.strict = strict
         self.counters: dict[str, int] = defaultdict(int)
         #: Currently open fault windows (sampled as ``fault.active``).
         self.active = 0
         #: Applied-schedule record: ``(time_ns, action, kind, target)``
         #: tuples, one per injection/revert, in simulation order.
         self.log: list[tuple[int, str, str, str]] = []
+        #: Events whose target matched nothing here (non-strict only).
+        self.skipped: list["FaultEvent"] = []
         self._started = False
         self._resolve_targets()
 
@@ -74,6 +83,12 @@ class FaultInjector:
         ports = self._ports()
         self._matches: dict[int, list] = {}
         for index, event in enumerate(self.scenario.events):
+            if event.kind in PROCESS_KINDS:
+                raise ConfigError(
+                    f"fault scenario {self.scenario.name!r}: {event.kind} "
+                    f"is a process-level fault applied by the scale-out "
+                    f"supervisor, not the in-sim injector; split it out "
+                    f"with FaultScenario.split_process_events()")
             if event.kind in FIBER_KINDS:
                 pool = fibers
             elif event.kind in PORT_KINDS:
@@ -85,6 +100,10 @@ class FaultInjector:
             matched = [pool[name] for name in sorted(pool)
                        if fnmatchcase(name, event.target)]
             if not matched:
+                if not self.strict:
+                    self.skipped.append(event)
+                    self._matches[index] = []
+                    continue
                 raise ConfigError(
                     f"fault scenario {self.scenario.name!r}: target "
                     f"{event.target!r} ({event.kind}) matches nothing; "
@@ -101,6 +120,8 @@ class FaultInjector:
             raise ConfigError("fault injector already started")
         self._started = True
         for index, event in enumerate(self.scenario.events):
+            if not self._matches[index]:
+                continue
             self.sim.process(
                 self._drive(event, self._matches[index]),
                 name=f"faults:{self.scenario.name}#{index}")

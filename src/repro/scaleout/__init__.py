@@ -7,7 +7,15 @@ the inter-HUB fiber propagation delay.  Each worker runs the unmodified
 exchanges timestamped envelope batches over pipes and advances every
 worker to ``min(neighbour horizons) + lookahead``.  Partitioned runs are
 bit-identical (hard digest assert) to single-process runs of the same
-seeded scenario.  See ``docs/SCALEOUT.md``.
+seeded scenario.
+
+The coordinator is crash-tolerant (:mod:`repro.scaleout.supervisor`):
+workers that crash, hang, or get SIGKILLed by a chaos campaign are
+respawned and their window log replayed to reconstruct bit-identical
+state, with bounded restarts and per-partition forensics on failure.
+Fault campaigns (:mod:`repro.faults`) apply partition-aware: in-sim
+overlays slice to local targets, ``kill_worker`` events exercise the
+recovery path.  See ``docs/SCALEOUT.md``.
 """
 
 from .escl import (ScaleoutScenario, Traffic, fingerprint_digest,
@@ -15,13 +23,17 @@ from .escl import (ScaleoutScenario, Traffic, fingerprint_digest,
 from .partition import (Partitioning, PartitionSystem, lookahead_ns,
                         partition_fabric)
 from .runner import ScaleoutResult, run_partitioned, run_single, verify
+from .supervisor import Supervisor, SupervisorOutcome, escl_campaign
 
 __all__ = [
     "Partitioning",
     "PartitionSystem",
     "ScaleoutResult",
     "ScaleoutScenario",
+    "Supervisor",
+    "SupervisorOutcome",
     "Traffic",
+    "escl_campaign",
     "fingerprint_digest",
     "lookahead_ns",
     "merge_fragments",

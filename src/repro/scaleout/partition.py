@@ -326,6 +326,29 @@ class PartitionSystem:
         return hub if hub is not None else self._proxies[name]
 
     # ------------------------------------------------------------------
+    # partition-aware fault injection
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, scenario: Any) -> Any:
+        """Apply this partition's slice of a fault campaign.
+
+        Every worker receives the *same*
+        :class:`~repro.faults.FaultScenario` (campaigns are built from
+        ``cfg.rng_stream``, so each process derives the identical
+        schedule); the injector runs in non-strict mode so events whose
+        targets live in other partitions are skipped here and applied
+        there.  Fault overlays key their RNG streams off fiber names,
+        and boundary fibers reuse the exact single-process names, so the
+        faulted partitioned run stays digest-identical to the faulted
+        single-process run.
+        """
+        from ..faults.injector import FaultInjector
+        injector = FaultInjector(self, scenario, strict=False)
+        injector.start()
+        self.fault_injector = injector
+        return injector
+
+    # ------------------------------------------------------------------
     # NectarSystem duck-type surface
     # ------------------------------------------------------------------
 

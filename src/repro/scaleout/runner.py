@@ -1,10 +1,11 @@
-"""The conservative-lookahead coordinator and its worker processes.
+"""Run shapes for E-SCL scenarios: single-process and supervised.
 
 ``run_single`` executes an E-SCL scenario in one process, exactly like
-every other experiment in the repo.  ``run_partitioned`` shards the same
-scenario across ``num_partitions`` worker processes (one
-:class:`~repro.scaleout.partition.PartitionSystem` each, fork-started)
-and synchronizes them in barrier rounds over pipes:
+every other experiment in the repo — it is the reference every digest
+is compared against.  ``run_partitioned`` shards the same scenario
+across ``num_partitions`` worker processes under the crash-tolerant
+coordinator in :mod:`repro.scaleout.supervisor`, which drives the
+conservative-lookahead barrier protocol:
 
 1. Every worker reports its next local event time and flushes its
    outbox of captured cross-partition envelopes.
@@ -22,6 +23,13 @@ produced it — each round is causally closed, and each new horizon is
 strictly later than the last window, so the loop always progresses.
 The run terminates when every worker is idle and no envelopes remain.
 
+On top of the protocol, the supervisor recovers dead or hung workers by
+respawn + window-log replay (bounded restarts, exponential backoff) and
+can apply fault campaigns — both in-simulation overlays, sliced per
+partition, and process-level ``kill_worker`` chaos.  Failures past the
+restart budget surface as :class:`~repro.errors.ScaleoutError` with
+per-partition forensics.
+
 The digest of a partitioned run is asserted bit-identical to the
 single-process digest by ``verify`` (the CI scale-out smoke), which is
 the whole protocol's correctness witness: see ``docs/SCALEOUT.md``.
@@ -29,7 +37,6 @@ the whole protocol's correctness witness: see ``docs/SCALEOUT.md``.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -37,12 +44,9 @@ from typing import Any, Optional
 from ..topology.fabrics import build_system
 from .escl import (ScaleoutScenario, fingerprint_digest, merge_fragments,
                    scenarios, spawn_traffic)
-from .partition import PartitionSystem, lookahead_ns, partition_fabric
+from .supervisor import Supervisor
 
 __all__ = ["ScaleoutResult", "run_partitioned", "run_single", "verify"]
-
-#: Seconds the coordinator waits on a worker before declaring it hung.
-_WORKER_TIMEOUT_S = 600.0
 
 
 @dataclass
@@ -57,6 +61,12 @@ class ScaleoutResult:
     rounds: int
     envelopes: int
     fingerprint: dict[str, Any] = field(default_factory=dict)
+    #: Worker processes respawned after crash/hang/exception.
+    restarts: int = 0
+    #: Advance windows resent during window-log replay.
+    replayed_windows: int = 0
+    #: Workers SIGKILLed by chaos (``kill_worker``) campaign events.
+    worker_kills: int = 0
 
     @property
     def digest(self) -> str:
@@ -96,13 +106,29 @@ class ScaleoutResult:
             "goodput_mbps": round(self.goodput_mbps, 3),
             "rounds": self.rounds,
             "envelopes": self.envelopes,
+            "restarts": self.restarts,
+            "replayed_windows": self.replayed_windows,
+            "worker_kills": self.worker_kills,
             "digest": self.digest,
         }
 
 
-def run_single(scenario: ScaleoutScenario) -> ScaleoutResult:
-    """Run the scenario in-process; the reference for every digest."""
+def run_single(scenario: ScaleoutScenario,
+               faults=None) -> ScaleoutResult:
+    """Run the scenario in-process; the reference for every digest.
+
+    ``faults`` (a :class:`~repro.faults.FaultScenario`) applies the
+    campaign's in-simulation events through a strict
+    :class:`~repro.faults.FaultInjector`; process-level events
+    (``kill_worker``) are meaningless here and silently dropped — there
+    are no worker processes to kill.
+    """
     system = build_system(scenario.fabric, scenario.config())
+    if faults is not None:
+        sim_faults, _process_events = faults.split_process_events()
+        if sim_faults.events:
+            from ..faults.injector import FaultInjector
+            FaultInjector(system, sim_faults).start()
     traffic = spawn_traffic(scenario, system)
     start = time.perf_counter()
     system.run()
@@ -113,133 +139,67 @@ def run_single(scenario: ScaleoutScenario) -> ScaleoutResult:
                           fingerprint=fingerprint)
 
 
-def _worker_main(conn, scenario_name: str, num_partitions: int,
-                 index: int) -> None:
-    """Worker process: one partition, advanced in coordinator windows."""
-    scenario = scenarios()[scenario_name]
-    partitioning = partition_fabric(scenario.fabric, num_partitions)
-    system = PartitionSystem(partitioning, index, scenario.config())
-    traffic = spawn_traffic(scenario, system)
-    conn.send(("state", system.peek(), system.drain_outbox(),
-               system.sim.events_processed))
-    while True:
-        message = conn.recv()
-        if message[0] == "advance":
-            _tag, window, envelopes = message
-            system.inject(envelopes)
-            system.run(until=window)
-            conn.send(("state", system.peek(), system.drain_outbox(),
-                       system.sim.events_processed))
-        elif message[0] == "finish":
-            conn.send(("result", traffic.fragment(),
-                       system.sim.events_processed, system.now))
-            conn.close()
-            return
-        else:  # pragma: no cover - protocol misuse
-            raise RuntimeError(f"unknown coordinator message {message[0]!r}")
+def run_partitioned(scenario: ScaleoutScenario, num_partitions: int, *,
+                    faults=None, max_restarts: int = 2,
+                    hang_timeout_s: float = 600.0,
+                    backoff_base_s: float = 0.05,
+                    snapshot_every: int = 0,
+                    registry=None) -> ScaleoutResult:
+    """Run the scenario sharded across ``num_partitions`` processes.
 
-
-def _recv(conn):
-    if not conn.poll(_WORKER_TIMEOUT_S):
-        raise TimeoutError("scale-out worker did not answer; "
-                           "coordinator giving up")
-    return conn.recv()
-
-
-def run_partitioned(scenario: ScaleoutScenario,
-                    num_partitions: int) -> ScaleoutResult:
-    """Run the scenario sharded across ``num_partitions`` processes."""
+    Delegates to the crash-tolerant :class:`Supervisor`: workers that
+    crash, hang, or get SIGKILLed by a chaos campaign are respawned and
+    replayed from the window log, up to ``max_restarts`` times per
+    partition, after which :class:`~repro.errors.ScaleoutError` carries
+    the per-partition forensics.  ``registry`` (a
+    :class:`~repro.observe.MetricRegistry`) mirrors the recovery
+    counters as ``scaleout.*`` metrics.
+    """
     if num_partitions < 2:
-        return run_single(scenario)
-    partitioning = partition_fabric(scenario.fabric, num_partitions)
-    owners = partitioning.owner_map()
-    lookahead = lookahead_ns(scenario.config())
-    ctx = mp.get_context("fork")
-    pipes, workers = [], []
-    for index in range(num_partitions):
-        parent, child = ctx.Pipe()
-        process = ctx.Process(
-            target=_worker_main,
-            args=(child, scenario.name, num_partitions, index),
-            name=f"scaleout-{scenario.name}-p{index}", daemon=True)
-        pipes.append(parent)
-        workers.append(process)
-    rounds = 0
-    total_envelopes = 0
-    try:
-        for process in workers:
-            process.start()
-        peeks: list[Optional[int]] = [None] * num_partitions
-        #: Per destination partition: (arrival, src, seq, envelope).
-        pending: list[list[tuple]] = [[] for _ in range(num_partitions)]
-
-        def absorb(src: int, state) -> None:
-            nonlocal total_envelopes
-            _tag, peek, outbox, _events = state
-            peeks[src] = peek
-            total_envelopes += len(outbox)
-            for envelope in outbox:
-                destination = owners[envelope[3]]
-                pending[destination].append(
-                    (envelope[0], src, envelope[1], envelope))
-
-        start = time.perf_counter()
-        for src, conn in enumerate(pipes):
-            absorb(src, _recv(conn))
-        while True:
-            candidates = [peek for peek in peeks if peek is not None]
-            candidates.extend(entry[0] for batch in pending
-                              for entry in batch)
-            if not candidates:
-                break
-            window = min(candidates) + lookahead - 1
-            rounds += 1
-            for index, conn in enumerate(pipes):
-                batch = sorted(entry for entry in pending[index]
-                               if entry[0] <= window)
-                pending[index] = [entry for entry in pending[index]
-                                  if entry[0] > window]
-                conn.send(("advance", window,
-                           [entry[3] for entry in batch]))
-            for src, conn in enumerate(pipes):
-                absorb(src, _recv(conn))
-        for conn in pipes:
-            conn.send(("finish",))
-        fragments, events, sim_ns = [], 0, 0
-        for conn in pipes:
-            _tag, fragment, worker_events, worker_now = _recv(conn)
-            fragments.append(fragment)
-            events += worker_events
-            sim_ns = max(sim_ns, worker_now)
-        wall = time.perf_counter() - start
-        for process in workers:
-            process.join(timeout=30)
-    finally:
-        for process in workers:
-            if process.is_alive():  # pragma: no cover - error cleanup
-                process.terminate()
-    fingerprint = merge_fragments(fragments)
-    return ScaleoutResult(scenario.name, num_partitions, events, sim_ns,
-                          wall, rounds=rounds, envelopes=total_envelopes,
-                          fingerprint=fingerprint)
+        return run_single(scenario, faults=faults)
+    supervisor = Supervisor(
+        scenario, num_partitions, faults=faults,
+        max_restarts=max_restarts, hang_timeout_s=hang_timeout_s,
+        backoff_base_s=backoff_base_s, snapshot_every=snapshot_every,
+        registry=registry)
+    outcome = supervisor.run()
+    return ScaleoutResult(
+        scenario.name, num_partitions, outcome.events, outcome.sim_ns,
+        outcome.wall_s, rounds=outcome.rounds,
+        envelopes=outcome.envelopes,
+        fingerprint=merge_fragments(outcome.fragments),
+        restarts=outcome.restarts,
+        replayed_windows=outcome.replayed_windows,
+        worker_kills=outcome.worker_kills)
 
 
 def verify(scenario: ScaleoutScenario,
-           partition_counts: tuple[int, ...] = (2,)) -> ScaleoutResult:
+           partition_counts: tuple[int, ...] = (2,),
+           faults=None, **run_kwargs) -> ScaleoutResult:
     """Assert every partitioned digest matches the single-process one.
 
     Returns the single-process result (the reference).  Raises
     ``AssertionError`` on the first mismatch — this is the hard digest
     gate the CI scale-out smoke and the E-SCL benchmark both call.
+
+    With ``faults``, both run shapes apply the same campaign and the
+    digests must still match; the *event-count* gate only applies to
+    clean runs, because in-sim fault driver processes spawn once per
+    partition holding a matched target (vs once in the single-process
+    run), so raw event totals legitimately differ under faults.
     """
-    reference = run_single(scenario)
+    reference = run_single(scenario, faults=faults)
+    sim_faulted = False
+    if faults is not None:
+        sim_faulted = bool(faults.split_process_events()[0].events)
     for count in partition_counts:
-        result = run_partitioned(scenario, count)
+        result = run_partitioned(scenario, count, faults=faults,
+                                 **run_kwargs)
         if result.digest != reference.digest:
             raise AssertionError(
                 f"{scenario.name}: {count}-partition digest "
                 f"{result.digest} != single-process {reference.digest}")
-        if result.events != reference.events:
+        if not sim_faulted and result.events != reference.events:
             raise AssertionError(
                 f"{scenario.name}: {count}-partition run processed "
                 f"{result.events} events, single-process "

@@ -1,0 +1,702 @@
+"""The crash-tolerant scale-out coordinator: supervised workers.
+
+The plain coordinator in :mod:`repro.scaleout.runner` assumed every
+worker answers every barrier round; one SIGKILL'd process stalled the
+run for the full pipe timeout and then aborted it.  This module replaces
+that loop with a :class:`Supervisor` that treats worker death as a
+recoverable event:
+
+* **Multiplexed waits.**  Worker pipes *and* process sentinels are
+  watched together via :func:`multiprocessing.connection.wait`, with a
+  per-worker heartbeat deadline — a crash is detected the moment the
+  kernel reaps the child (sentinel/EOF, with the exit code recorded),
+  and a hang is detected when the deadline lapses, so the two failure
+  modes are distinguished in the forensics instead of both surfacing as
+  an anonymous ``TimeoutError`` minutes later.
+
+* **Window-log replay.**  A partitioned worker is a deterministic pure
+  function of ``(scenario, partition index, the sequence of coordinator
+  messages)``: same seed, same envelope batches, same state — that is
+  the bit-identity contract ``verify`` asserts.  The supervisor
+  therefore keeps, per partition, the full log of messages sent since
+  worker start.  When a worker dies, a fresh process is spawned for the
+  same partition and the log is replayed to reconstruct bit-identical
+  state.  Responses to already-acknowledged positions are discarded
+  (their envelopes were already routed — replay makes them
+  deterministic duplicates); the at-most-one unacknowledged response is
+  absorbed exactly as the dead incarnation's answer would have been.
+  Restarts are bounded (``max_restarts`` per partition) with
+  exponential backoff between attempts.
+
+* **Snapshot verification.**  True log compaction is impossible here:
+  worker state lives in Python generator frames (the kernel threads on
+  the simulator agenda), which cannot pickle, so there is no checkpoint
+  to restart from and the log is never truncated.  What the ``snapshot``
+  command *can* do is pickle the worker's fragment-so-far; the
+  supervisor records its digest per log position and, during replay,
+  hard-checks that the respawned worker reproduces every recorded
+  snapshot byte-for-byte — a replay-fidelity witness, and fragment
+  forensics for post-mortems.
+
+* **Graceful degradation.**  When a partition exhausts its restart
+  budget the supervisor reaps every worker (terminate, then SIGKILL,
+  then fail loudly if a process leaks) and raises a structured
+  :class:`~repro.errors.ScaleoutError` carrying per-partition forensics:
+  last window reached, events processed, restart count, exit codes, and
+  the full failure history.
+
+* **Partition-aware faults.**  A :class:`~repro.faults.FaultScenario`
+  can ride along: its in-simulation events are handed to *every* worker
+  verbatim (each applies the slice whose targets it materialized
+  locally, via the injector's non-strict mode), so a faulted
+  partitioned run stays digest-identical to the faulted single-process
+  run; its process-level ``kill_worker`` events are applied by the
+  supervisor itself, SIGKILLing live workers mid-run to exercise the
+  recovery path end-to-end (``scaleout --chaos``).
+
+See ``docs/SCALEOUT.md`` ("Fault tolerance") for the recovery-soundness
+argument.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+import multiprocessing as mp
+from fnmatch import fnmatchcase
+from typing import Any, Optional
+
+from ..errors import ScaleoutError
+from ..faults.campaigns import build_campaign
+from ..faults.scenario import FaultEvent, FaultScenario
+from .escl import (ScaleoutScenario, fingerprint_digest, scenarios,
+                   spawn_traffic)
+from .partition import PartitionSystem, lookahead_ns, partition_fabric
+
+__all__ = ["Supervisor", "SupervisorOutcome", "escl_campaign"]
+
+#: Hard ceiling on the exponential restart backoff (seconds).
+_BACKOFF_CAP_S = 2.0
+#: Seconds granted to each escalation step when reaping a worker.
+_REAP_STEP_S = 5.0
+
+#: E-SCL runs finish within a few hundred microseconds of simulated
+#: time (vs the default workload's milliseconds), so campaigns need
+#: windows placed inside that span to fire at all.
+_ESCL_CAMPAIGN_DEFAULTS: dict[str, dict[str, int]] = {
+    "drop-burst": {"start_ns": 5_000, "horizon_ns": 150_000,
+                   "duration_ns": 30_000},
+    "corrupt-burst": {"start_ns": 5_000, "horizon_ns": 150_000,
+                      "duration_ns": 30_000},
+    "reply-storm": {"start_ns": 5_000, "horizon_ns": 150_000,
+                    "duration_ns": 30_000},
+    "link-flap": {"start_ns": 5_000, "horizon_ns": 150_000,
+                  "duration_ns": 30_000},
+    "worker-kill": {"start_ns": 10_000, "horizon_ns": 200_000},
+}
+
+
+def escl_campaign(name: str, cfg, **overrides) -> FaultScenario:
+    """Build a named campaign with windows sized for E-SCL runs."""
+    params: dict[str, Any] = dict(_ESCL_CAMPAIGN_DEFAULTS.get(name, {}))
+    params.update(overrides)
+    return build_campaign(name, cfg, **params)
+
+
+def _worker_main(conn, scenario_name: str, num_partitions: int,
+                 index: int, faults_spec: Optional[dict] = None) -> None:
+    """Worker process: one partition, advanced in coordinator windows.
+
+    Replies in lock-step to coordinator commands:
+
+    * ``("advance", window, envelopes)`` → inject, run to the window,
+      answer ``("state", peek, outbox, events_processed)``.
+    * ``("snapshot",)`` → answer ``("snapshot", fragment,
+      events_processed, now)`` — the picklable fragment-so-far.
+    * ``("finish",)`` → answer ``("result", fragment, events_processed,
+      now)`` and exit.
+
+    Any exception is reported as ``("error", traceback_text)`` before
+    the worker exits non-zero, so the coordinator sees the worker-side
+    stack instead of a silent death.
+    """
+    try:
+        scenario = scenarios()[scenario_name]
+        partitioning = partition_fabric(scenario.fabric, num_partitions)
+        system = PartitionSystem(partitioning, index, scenario.config())
+        if faults_spec is not None:
+            system.attach_faults(FaultScenario.from_dict(faults_spec))
+        traffic = spawn_traffic(scenario, system)
+        conn.send(("state", system.peek(), system.drain_outbox(),
+                   system.sim.events_processed))
+        while True:
+            message = conn.recv()
+            if message[0] == "advance":
+                _tag, window, envelopes = message
+                system.inject(envelopes)
+                system.run(until=window)
+                conn.send(("state", system.peek(), system.drain_outbox(),
+                           system.sim.events_processed))
+            elif message[0] == "snapshot":
+                conn.send(("snapshot", traffic.fragment(),
+                           system.sim.events_processed, system.now))
+            elif message[0] == "finish":
+                conn.send(("result", traffic.fragment(),
+                           system.sim.events_processed, system.now))
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(
+                    f"unknown coordinator message {message[0]!r}")
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - coordinator already gone
+            pass
+        raise SystemExit(1)
+
+
+class _WorkerDied(Exception):
+    """Internal signal: a worker failed (reason, detail, exit code)."""
+
+    def __init__(self, reason: str, detail: str,
+                 exit_code: Optional[int]) -> None:
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+        self.exit_code = exit_code
+
+
+class _Worker:
+    """One partition's process handle plus its replay bookkeeping."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Optional[mp.process.BaseProcess] = None
+        self.conn = None
+        #: Every message sent since the *first* spawn — the replay log.
+        self.log: list[tuple] = []
+        #: Responses absorbed so far.  Position 0 is the initial state
+        #: report; position ``i >= 1`` answers ``log[i - 1]``.
+        self.acked = 0
+        #: Wall-clock deadline for the outstanding response, if any.
+        self.deadline: Optional[float] = None
+        self.restarts = 0
+        self.failures: list[dict[str, Any]] = []
+        #: Log position -> fragment digest, recorded at ``snapshot``
+        #: responses and re-checked during replay.
+        self.snapshots: dict[int, str] = {}
+        self.advances_since_snapshot = 0
+        self.last_window: Optional[int] = None
+        self.events = 0
+        self.result: Optional[tuple] = None
+
+    @property
+    def outstanding(self) -> bool:
+        """Is there a request this worker has not answered yet?"""
+        return self.acked < 1 + len(self.log)
+
+    def forensics(self) -> dict[str, Any]:
+        """Everything the post-mortem needs about this partition."""
+        return {
+            "partition": self.index,
+            "restarts": self.restarts,
+            "last_window": self.last_window,
+            "acked_responses": self.acked,
+            "log_messages": len(self.log),
+            "events": self.events,
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class SupervisorOutcome:
+    """What a completed supervised run hands back to the runner."""
+
+    fragments: list[dict[str, Any]]
+    events: int
+    sim_ns: int
+    wall_s: float
+    rounds: int
+    envelopes: int
+    restarts: int
+    replayed_windows: int
+    worker_kills: int
+    snapshots_verified: int
+    forensics: list[dict[str, Any]] = field(default_factory=list)
+
+
+class Supervisor:
+    """Crash-tolerant barrier-round coordinator for one partitioned run.
+
+    Drives ``num_partitions`` worker processes through the conservative
+    lookahead protocol (see :mod:`repro.scaleout.runner`), recovering
+    dead or hung workers by respawn + window-log replay.  One instance
+    runs one scenario once (:meth:`run`).
+    """
+
+    def __init__(self, scenario: ScaleoutScenario, num_partitions: int, *,
+                 faults: Optional[FaultScenario] = None,
+                 max_restarts: int = 2, hang_timeout_s: float = 600.0,
+                 backoff_base_s: float = 0.05, snapshot_every: int = 0,
+                 registry=None) -> None:
+        if num_partitions < 2:
+            raise ScaleoutError(
+                "the supervisor coordinates >= 2 workers; "
+                "use run_single for one process")
+        self.scenario = scenario
+        self.num_partitions = num_partitions
+        self.max_restarts = max_restarts
+        self.hang_timeout_s = hang_timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.snapshot_every = snapshot_every
+        self.partitioning = partition_fabric(scenario.fabric,
+                                             num_partitions)
+        self.owners = self.partitioning.owner_map()
+        self.lookahead = lookahead_ns(scenario.config())
+        self.ctx = mp.get_context("fork")
+        self.workers = [_Worker(i) for i in range(num_partitions)]
+        #: Per destination partition: (arrival, src, seq, envelope).
+        self.pending: list[list[tuple]] = [[] for _ in
+                                           range(num_partitions)]
+        self.peeks: list[Optional[int]] = [None] * num_partitions
+        if faults is not None:
+            sim_faults, process_events = faults.split_process_events()
+            self._faults_spec = (sim_faults.to_dict()
+                                 if sim_faults.events else None)
+            self._kill_events = process_events
+        else:
+            self._faults_spec = None
+            self._kill_events = []
+        self._kills_fired: set[int] = set()
+        self.rounds = 0
+        self.envelopes = 0
+        self.restarts = 0
+        self.replayed_windows = 0
+        self.worker_kills = 0
+        self.snapshots_verified = 0
+        self._counters = {}
+        if registry is not None:
+            self._counters = {
+                "restarts": registry.counter(
+                    "scaleout.restarts",
+                    "worker processes respawned after a failure",
+                    unit="restarts"),
+                "replayed_windows": registry.counter(
+                    "scaleout.replayed_windows",
+                    "advance windows resent during log replay",
+                    unit="windows"),
+                "worker_kills": registry.counter(
+                    "scaleout.worker_kills",
+                    "workers SIGKILLed by chaos campaign events",
+                    unit="kills"),
+            }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def run(self) -> SupervisorOutcome:
+        """Drive the full protocol; always reaps every worker on exit."""
+        start = time.perf_counter()
+        try:
+            for worker in self.workers:
+                self._spawn(worker)
+            self._fire_kills(window=0)
+            self._collect()
+            while True:
+                candidates = [p for p in self.peeks if p is not None]
+                candidates.extend(entry[0] for batch in self.pending
+                                  for entry in batch)
+                if not candidates:
+                    break
+                window = min(candidates) + self.lookahead - 1
+                self.rounds += 1
+                for worker in self.workers:
+                    batch = sorted(e for e in self.pending[worker.index]
+                                   if e[0] <= window)
+                    self.pending[worker.index] = [
+                        e for e in self.pending[worker.index]
+                        if e[0] > window]
+                    self._send(worker, ("advance", window,
+                                        [entry[3] for entry in batch]))
+                    worker.last_window = window
+                self._fire_kills(window)
+                self._collect()
+            for worker in self.workers:
+                self._send(worker, ("finish",))
+            self._collect()
+            wall = time.perf_counter() - start
+        finally:
+            self._reap_all()
+        events, sim_ns, fragments = 0, 0, []
+        for worker in self.workers:
+            _tag, fragment, worker_events, worker_now = worker.result
+            fragments.append(fragment)
+            events += worker_events
+            sim_ns = max(sim_ns, worker_now)
+        return SupervisorOutcome(
+            fragments=fragments, events=events, sim_ns=sim_ns,
+            wall_s=wall, rounds=self.rounds, envelopes=self.envelopes,
+            restarts=self.restarts,
+            replayed_windows=self.replayed_windows,
+            worker_kills=self.worker_kills,
+            snapshots_verified=self.snapshots_verified,
+            forensics=[w.forensics() for w in self.workers])
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent, child = self.ctx.Pipe()
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(child, self.scenario.name, self.num_partitions,
+                  worker.index, self._faults_spec),
+            name=(f"scaleout-{self.scenario.name}-p{worker.index}"
+                  f"-r{worker.restarts}"),
+            daemon=True)
+        process.start()
+        # Close our copy of the child's pipe end, or EOF never fires.
+        child.close()
+        worker.process = process
+        worker.conn = parent
+        worker.deadline = time.monotonic() + self.hang_timeout_s
+
+    # ------------------------------------------------------------------
+    # sending and collecting
+    # ------------------------------------------------------------------
+
+    def _send(self, worker: _Worker, message: tuple) -> None:
+        """Log then send; a broken pipe triggers recovery (which will
+        resend the just-logged message as the replay tail)."""
+        worker.log.append(message)
+        try:
+            worker.conn.send(message)
+            worker.deadline = time.monotonic() + self.hang_timeout_s
+        except (BrokenPipeError, OSError):
+            self._recover(worker, "crash",
+                          "pipe broke while sending the next command")
+
+    def _collect(self) -> None:
+        """Wait until every worker has answered everything sent so far,
+        recovering any worker that crashes or misses its deadline."""
+        while True:
+            lagging = [w for w in self.workers if w.outstanding]
+            if not lagging:
+                return
+            now = time.monotonic()
+            expired = [w for w in lagging if w.deadline is not None
+                       and now > w.deadline]
+            if expired:
+                worker = expired[0]
+                self._kill_process(worker)
+                self._recover(
+                    worker, "hang",
+                    f"no answer within {self.hang_timeout_s:.1f}s "
+                    f"(last window {worker.last_window})")
+                continue
+            timeout = min(w.deadline for w in lagging
+                          if w.deadline is not None) - now
+            by_conn = {w.conn: w for w in lagging}
+            by_sentinel = {w.process.sentinel: w for w in lagging}
+            ready = mp_connection.wait(
+                list(by_conn) + list(by_sentinel),
+                timeout=max(timeout, 0.001))
+            progressed = False
+            for obj in ready:
+                worker = by_conn.get(obj)
+                if worker is None:
+                    continue
+                progressed = True
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._recover(worker, "crash",
+                                  "pipe EOF while awaiting a response")
+                    break
+                self._handle(worker, message)
+                break
+            if progressed:
+                continue
+            for obj in ready:
+                worker = by_sentinel.get(obj)
+                if worker is None or not worker.outstanding:
+                    continue
+                # The process is gone, but a complete response may
+                # still be buffered in the pipe — drain it first.
+                if worker.conn.poll(0):
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        self._recover(worker, "crash",
+                                      "worker exited mid-response")
+                        break
+                    self._handle(worker, message)
+                    break
+                self._recover(worker, "crash",
+                              "worker process exited without answering")
+                break
+
+    def _handle(self, worker: _Worker, message: tuple) -> None:
+        """Absorb one in-order response from a live worker."""
+        tag = message[0]
+        if tag == "error":
+            self._recover(worker, "exception", message[1])
+            return
+        position = worker.acked
+        entry = None if position == 0 else worker.log[position - 1]
+        if tag == "state":
+            self._absorb(worker, message)
+            worker.acked += 1
+            worker.deadline = None
+            if entry is not None and entry[0] == "advance":
+                worker.advances_since_snapshot += 1
+                if self.snapshot_every \
+                        and worker.advances_since_snapshot \
+                        >= self.snapshot_every:
+                    worker.advances_since_snapshot = 0
+                    self._send(worker, ("snapshot",))
+        elif tag == "snapshot":
+            _tag, fragment, events, _now = message
+            worker.snapshots[position] = fingerprint_digest(
+                self.scenario.name, fragment)
+            worker.events = events
+            worker.acked += 1
+            worker.deadline = None
+        elif tag == "result":
+            worker.result = message
+            worker.events = message[2]
+            worker.acked += 1
+            worker.deadline = None
+        else:  # pragma: no cover - protocol misuse
+            raise ScaleoutError(
+                f"scale-out {self.scenario.name!r} partition "
+                f"{worker.index}: unknown worker response {tag!r}")
+
+    def _absorb(self, worker: _Worker, state: tuple) -> None:
+        """Route one state report's envelopes; track peek and events."""
+        _tag, peek, outbox, events = state
+        self.peeks[worker.index] = peek
+        worker.events = events
+        self.envelopes += len(outbox)
+        for envelope in outbox:
+            destination = self.owners[envelope[3]]
+            self.pending[destination].append(
+                (envelope[0], worker.index, envelope[1], envelope))
+
+    # ------------------------------------------------------------------
+    # failure handling: record, respawn, replay
+    # ------------------------------------------------------------------
+
+    def _recover(self, worker: _Worker, reason: str, detail: str) -> None:
+        """Respawn ``worker`` and replay its log until it is caught up.
+
+        Raises :class:`ScaleoutError` with full forensics once the
+        partition's restart budget is exhausted.
+        """
+        while True:
+            self._record_failure(worker, reason, detail)
+            self._reap(worker)
+            if worker.restarts >= self.max_restarts:
+                self._give_up(worker, reason)
+            worker.restarts += 1
+            self.restarts += 1
+            self._bump("restarts")
+            delay = min(self.backoff_base_s * (2 ** (worker.restarts - 1)),
+                        _BACKOFF_CAP_S)
+            time.sleep(delay)
+            self._spawn(worker)
+            try:
+                self._replay(worker)
+                return
+            except _WorkerDied as died:
+                reason, detail = died.reason, died.detail
+
+    def _replay(self, worker: _Worker) -> None:
+        """Feed a fresh incarnation the full log, byte-for-byte.
+
+        Responses to positions ``< worker.acked`` are deterministic
+        duplicates: their envelopes were already routed, so outboxes are
+        discarded and snapshot digests are verified against the record.
+        The at-most-one position ``== worker.acked`` is the response the
+        dead incarnation never gave; it is absorbed normally.
+        """
+        message = self._recv_replay(worker)
+        if message[0] != "state":  # pragma: no cover - protocol misuse
+            raise ScaleoutError(
+                f"scale-out {self.scenario.name!r} partition "
+                f"{worker.index}: replay expected a state report, "
+                f"got {message[0]!r}")
+        if worker.acked == 0:
+            self._absorb(worker, message)
+            worker.acked = 1
+        replayed = 0
+        # Snapshot the length: absorbing the tail response may append a
+        # fresh ("snapshot",) request (already sent by _send) that must
+        # not be re-sent by this loop.
+        log_len = len(worker.log)
+        for position in range(1, log_len + 1):
+            entry = worker.log[position - 1]
+            try:
+                worker.conn.send(entry)
+            except (BrokenPipeError, OSError):
+                raise _WorkerDied("crash",
+                                  "pipe broke during replay",
+                                  self._exit_code(worker)) from None
+            message = self._recv_replay(worker)
+            if entry[0] == "advance":
+                replayed += 1
+            if message[0] == "error":
+                raise _WorkerDied("exception", message[1],
+                                  self._exit_code(worker))
+            if position < worker.acked:
+                if entry[0] == "snapshot":
+                    self._verify_snapshot(worker, position, message)
+                continue
+            # The single unacknowledged position: absorb for real.
+            self._handle(worker, message)
+        self.replayed_windows += replayed
+        self._bump("replayed_windows", replayed)
+        worker.deadline = (time.monotonic() + self.hang_timeout_s
+                           if worker.outstanding else None)
+
+    def _verify_snapshot(self, worker: _Worker, position: int,
+                         message: tuple) -> None:
+        """Replay-fidelity hard check: same position, same fragment."""
+        digest = fingerprint_digest(self.scenario.name, message[1])
+        recorded = worker.snapshots.get(position)
+        if recorded is not None and recorded != digest:
+            self._reap_all()
+            raise ScaleoutError(
+                f"scale-out {self.scenario.name!r} partition "
+                f"{worker.index}: replay diverged at log position "
+                f"{position} (snapshot digest {digest[:16]} != recorded "
+                f"{recorded[:16]}); the determinism contract is broken",
+                forensics=[w.forensics() for w in self.workers])
+        self.snapshots_verified += 1
+
+    def _recv_replay(self, worker: _Worker) -> tuple:
+        """One blocking, deadline-guarded receive during replay."""
+        deadline = time.monotonic() + self.hang_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._kill_process(worker)
+                raise _WorkerDied(
+                    "hang",
+                    f"no answer within {self.hang_timeout_s:.1f}s "
+                    f"during replay", self._exit_code(worker))
+            ready = mp_connection.wait(
+                [worker.conn, worker.process.sentinel],
+                timeout=remaining)
+            if worker.conn in ready or worker.conn.poll(0):
+                try:
+                    return worker.conn.recv()
+                except (EOFError, OSError):
+                    raise _WorkerDied(
+                        "crash", "pipe EOF during replay",
+                        self._exit_code(worker)) from None
+            if worker.process.sentinel in ready:
+                raise _WorkerDied(
+                    "crash", "worker died during replay",
+                    self._exit_code(worker))
+
+    def _record_failure(self, worker: _Worker, reason: str,
+                        detail: str) -> None:
+        worker.failures.append({
+            "reason": reason,
+            "detail": detail,
+            "exit_code": self._exit_code(worker),
+            "last_window": worker.last_window,
+            "events": worker.events,
+            "acked_responses": worker.acked,
+        })
+
+    def _give_up(self, worker: _Worker, reason: str) -> None:
+        """Budget exhausted: reap everything, raise with forensics."""
+        self._reap_all()
+        raise ScaleoutError(
+            f"scale-out {self.scenario.name!r} partition {worker.index} "
+            f"failed ({reason}) and exhausted its restart budget "
+            f"({self.max_restarts} restarts); see forensics",
+            forensics=[w.forensics() for w in self.workers])
+
+    # ------------------------------------------------------------------
+    # process plumbing
+    # ------------------------------------------------------------------
+
+    def _exit_code(self, worker: _Worker) -> Optional[int]:
+        process = worker.process
+        if process is None:
+            return None
+        process.join(timeout=_REAP_STEP_S)
+        return process.exitcode
+
+    def _kill_process(self, worker: _Worker) -> None:
+        process = worker.process
+        if process is not None and process.is_alive():
+            process.kill()
+
+    def _reap(self, worker: _Worker) -> None:
+        """Terminate → SIGKILL → fail loudly if the process leaks."""
+        process = worker.process
+        if process is None:
+            return
+        process.join(timeout=_REAP_STEP_S)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=_REAP_STEP_S)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=_REAP_STEP_S)
+        if process.is_alive():
+            raise ScaleoutError(
+                f"scale-out {self.scenario.name!r} partition "
+                f"{worker.index}: worker pid {process.pid} survived "
+                f"terminate and SIGKILL; refusing to leak it silently",
+                forensics=[w.forensics() for w in self.workers])
+        if worker.conn is not None:
+            worker.conn.close()
+            worker.conn = None
+        worker.process = None
+
+    def _reap_all(self) -> None:
+        for worker in self.workers:
+            self._kill_process(worker)
+        for worker in self.workers:
+            self._reap(worker)
+
+    # ------------------------------------------------------------------
+    # process-level chaos
+    # ------------------------------------------------------------------
+
+    def _fire_kills(self, window: int) -> None:
+        """SIGKILL workers matched by due ``kill_worker`` events.
+
+        An event is due once the coordinator window reaches its
+        ``at_ns`` (``at_ns <= 0`` fires right after spawn, before the
+        first state report).  Each event fires exactly once; whichever
+        instant the signal lands, replay restores bit-identical state,
+        so the run's digest is unaffected — only the restart counters
+        and wall clock change.
+        """
+        for index, event in enumerate(self._kill_events):
+            if index in self._kills_fired or event.at_ns > window:
+                continue
+            self._kills_fired.add(index)
+            for worker in self.workers:
+                if not fnmatchcase(str(worker.index), event.target):
+                    continue
+                process = worker.process
+                if process is None or not process.is_alive():
+                    continue
+                os.kill(process.pid, signal.SIGKILL)
+                self.worker_kills += 1
+                self._bump("worker_kills")
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        counter = self._counters.get(name)
+        if counter is not None and amount > 0:
+            counter.inc(amount)

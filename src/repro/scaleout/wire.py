@@ -19,6 +19,13 @@ cannot ship as-is:
 Encoding happens at capture time (the item has permanently left the
 sending partition, so in-place mutation is safe); decoding happens at
 injection time in the receiving partition.
+
+This split is also what makes the supervisor's window-log replay
+(:mod:`repro.scaleout.supervisor`) sound: envelopes held in the
+coordinator's per-partition logs stay in *encoded* form — names and
+bytes, no live references — and decoding mutates only the receiving
+worker's own unpickled copy, so re-sending a logged envelope to a
+respawned worker is byte-for-byte identical to the first delivery.
 """
 
 from __future__ import annotations

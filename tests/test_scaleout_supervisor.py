@@ -1,0 +1,279 @@
+"""Crash-tolerant scale-out: recovery, forensics, partition-aware faults.
+
+The supervisor's contract is that worker death is invisible in the
+result: SIGKILL any worker at any instant and window-log replay
+reconstructs bit-identical state, so the digest (and even the raw event
+count) still matches the clean single-process reference.  These tests
+exercise every failure mode the coordinator distinguishes — chaos
+kills, death before the first state report, worker-side exceptions,
+hangs, broken budgets — plus the partition-aware fault slicing that
+keeps faulted runs digest-identical across run shapes.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.config import NectarConfig
+from repro.errors import ConfigError, ScaleoutError
+from repro.faults import (PROCESS_KINDS, FaultEvent, FaultInjector,
+                          FaultScenario, build_campaign)
+from repro.scaleout import (Supervisor, escl_campaign, run_partitioned,
+                            run_single, scenarios)
+from repro.scaleout.partition import PartitionSystem
+from repro.topology import single_hub_system
+
+
+@pytest.fixture(scope="module")
+def torus16_reference():
+    return run_single(scenarios()["escl-torus-16"])
+
+
+# ----------------------------------------------------------------------
+# the kill_worker fault kind
+# ----------------------------------------------------------------------
+
+class TestKillWorkerKind:
+    def test_is_a_process_kind(self):
+        assert "kill_worker" in PROCESS_KINDS
+        event = FaultEvent("kill_worker", 1_000, 0, target="2")
+        event.validate()
+
+    def test_requires_zero_duration(self):
+        with pytest.raises(ConfigError, match="duration_ns == 0"):
+            FaultEvent("kill_worker", 1_000, 500, target="*").validate()
+
+    def test_split_process_events(self):
+        scenario = FaultScenario("mixed", [
+            FaultEvent("kill_worker", 2_000, 0, target="1"),
+            FaultEvent("link_down", 1_000, 500, target="*"),
+        ])
+        sim, process = scenario.split_process_events()
+        assert [e.kind for e in sim.events] == ["link_down"]
+        assert [e.kind for e in process] == ["kill_worker"]
+        assert sim.name == "mixed"
+
+    def test_injector_rejects_process_kinds(self):
+        system = single_hub_system(num_cabs=2)
+        scenario = FaultScenario("k", [
+            FaultEvent("kill_worker", 0, 0, target="*")])
+        with pytest.raises(ConfigError, match="scale-out supervisor"):
+            FaultInjector(system, scenario)
+
+    def test_worker_kill_campaign_is_seeded(self):
+        cfg = NectarConfig(seed=7)
+        first = build_campaign("worker-kill", cfg, partitions=8, kills=3)
+        second = build_campaign("worker-kill", cfg, partitions=8, kills=3)
+        assert first.schedule_text() == second.schedule_text()
+        assert all(0 <= int(e.target) < 8 for e in first.events)
+        assert all(e.kind == "kill_worker" for e in first.events)
+
+
+class TestNonStrictInjector:
+    def test_unmatched_targets_skipped(self):
+        system = single_hub_system(num_cabs=2)
+        scenario = FaultScenario("s", [
+            FaultEvent("link_down", 0, 100, target="no-such-fiber*"),
+            FaultEvent("link_down", 0, 100, target="*cab0*"),
+        ])
+        injector = FaultInjector(system, scenario, strict=False)
+        assert len(injector.skipped) == 1
+        assert injector.skipped[0].target == "no-such-fiber*"
+        injector.start()
+        system.run(until=1_000)
+        # Only the matched event opened a window.
+        assert injector.counters["injected"] == 1
+
+
+# ----------------------------------------------------------------------
+# recovery by window-log replay
+# ----------------------------------------------------------------------
+
+class TestChaosRecovery:
+    @pytest.mark.parametrize("name", ["escl-torus-16", "escl-fattree-4",
+                                      "escl-hypercube-64"])
+    def test_sigkill_mid_run_recovers_bit_identical(self, name):
+        scenario = scenarios()[name]
+        reference = run_single(scenario)
+        kills = escl_campaign("worker-kill", scenario.config(),
+                              partitions=4)
+        result = run_partitioned(scenario, 4, faults=kills,
+                                 backoff_base_s=0.01)
+        assert result.worker_kills >= 1
+        assert result.restarts >= 1
+        assert result.replayed_windows > 0
+        assert result.digest == reference.digest
+        assert result.events == reference.events
+
+    def test_kill_before_first_state_report(self, torus16_reference):
+        scenario = scenarios()["escl-torus-16"]
+        early = FaultScenario("early-kill", [
+            FaultEvent("kill_worker", 0, 0, target="1")])
+        result = run_partitioned(scenario, 4, faults=early,
+                                 backoff_base_s=0.01)
+        assert result.worker_kills == 1
+        assert result.restarts == 1
+        assert result.digest == torus16_reference.digest
+        assert result.events == torus16_reference.events
+
+    def test_snapshots_verified_during_replay(self, torus16_reference):
+        scenario = scenarios()["escl-torus-16"]
+        kills = escl_campaign("worker-kill", scenario.config(),
+                              partitions=4)
+        supervisor = Supervisor(scenario, 4, faults=kills,
+                                snapshot_every=8, backoff_base_s=0.01)
+        outcome = supervisor.run()
+        # The killed worker replayed past at least one recorded
+        # snapshot position and reproduced the fragment byte-for-byte.
+        assert outcome.snapshots_verified >= 1
+        assert outcome.worker_kills >= 1
+        from repro.scaleout import fingerprint_digest, merge_fragments
+        digest = fingerprint_digest(scenario.name,
+                                    merge_fragments(outcome.fragments))
+        assert digest == torus16_reference.digest
+
+    def test_recovery_counters_reach_the_registry(self, torus16_reference):
+        from repro.observe import MetricRegistry
+        scenario = scenarios()["escl-torus-16"]
+        kills = escl_campaign("worker-kill", scenario.config(),
+                              partitions=4)
+        registry = MetricRegistry()
+        result = run_partitioned(scenario, 4, faults=kills,
+                                 backoff_base_s=0.01, registry=registry)
+        assert registry.get("scaleout.restarts").value() == result.restarts
+        assert registry.get("scaleout.worker_kills").value() \
+            == result.worker_kills
+        assert registry.get("scaleout.replayed_windows").value() \
+            == result.replayed_windows
+
+    def test_summary_includes_recovery_counters(self, torus16_reference):
+        summary = torus16_reference.summary()
+        assert summary["restarts"] == 0
+        assert summary["replayed_windows"] == 0
+        assert summary["worker_kills"] == 0
+
+
+# ----------------------------------------------------------------------
+# error paths: exceptions, hangs, exhausted budgets
+# ----------------------------------------------------------------------
+
+class TestErrorPaths:
+    def test_worker_exception_reaches_forensics(self, monkeypatch):
+        scenario = scenarios()["escl-torus-16"]
+        original = PartitionSystem.run
+
+        def exploding_run(self, until=None):
+            if self.index == 1 and until is not None and until > 50_000:
+                raise RuntimeError("injected failure for testing")
+            return original(self, until=until)
+
+        # Workers fork from this process, so they inherit the patch.
+        monkeypatch.setattr(PartitionSystem, "run", exploding_run)
+        with pytest.raises(ScaleoutError) as excinfo:
+            run_partitioned(scenario, 4, max_restarts=1,
+                            backoff_base_s=0.01)
+        message = str(excinfo.value)
+        assert "escl-torus-16" in message and "partition 1" in message
+        assert "exception" in message
+        entry = [f for f in excinfo.value.forensics
+                 if f["partition"] == 1][0]
+        assert entry["restarts"] == 1
+        failure = entry["failures"][0]
+        assert failure["reason"] == "exception"
+        # The worker-side traceback crossed the pipe.
+        assert "injected failure for testing" in failure["detail"]
+        assert "RuntimeError" in failure["detail"]
+        assert failure["exit_code"] == 1
+
+    def test_hang_is_detected_and_recovered(self, monkeypatch, tmp_path,
+                                            torus16_reference):
+        scenario = scenarios()["escl-torus-16"]
+        flag = tmp_path / "hang-once"
+        flag.write_text("hang")
+        original = PartitionSystem.run
+
+        def hanging_run(self, until=None):
+            if self.index == 1 and flag.exists():
+                flag.unlink()
+                time.sleep(60)
+            return original(self, until=until)
+
+        monkeypatch.setattr(PartitionSystem, "run", hanging_run)
+        supervisor = Supervisor(scenario, 4, hang_timeout_s=1.0,
+                                backoff_base_s=0.01)
+        outcome = supervisor.run()
+        assert outcome.restarts == 1
+        entry = outcome.forensics[1]
+        assert entry["failures"][0]["reason"] == "hang"
+        from repro.scaleout import fingerprint_digest, merge_fragments
+        digest = fingerprint_digest(scenario.name,
+                                    merge_fragments(outcome.fragments))
+        assert digest == torus16_reference.digest
+
+    def test_budget_exhaustion_names_scenario_and_partition(self):
+        scenario = scenarios()["escl-torus-16"]
+        kill = FaultScenario("k", [
+            FaultEvent("kill_worker", 50_000, 0, target="2")])
+        with pytest.raises(ScaleoutError) as excinfo:
+            run_partitioned(scenario, 4, faults=kill, max_restarts=0)
+        message = str(excinfo.value)
+        assert "escl-torus-16" in message
+        assert "partition 2" in message
+        assert "crash" in message
+        assert "restart budget" in message
+        forensics = excinfo.value.forensics
+        assert len(forensics) == 4
+        entry = [f for f in forensics if f["partition"] == 2][0]
+        assert entry["failures"][0]["reason"] == "crash"
+        # SIGKILL shows up as a negative exit code.
+        assert entry["failures"][0]["exit_code"] == -9
+        assert entry["last_window"] is not None
+
+
+# ----------------------------------------------------------------------
+# partition-aware fault campaigns
+# ----------------------------------------------------------------------
+
+class TestFaultedParity:
+    def test_drop_burst_partitioned_matches_faulted_single(self):
+        scenario = scenarios()["escl-torus-16"]
+        campaign = escl_campaign("drop-burst", scenario.config())
+        faulted_reference = run_single(scenario, faults=campaign)
+        clean_reference = run_single(scenario)
+        # The campaign must actually change the run...
+        assert faulted_reference.digest != clean_reference.digest
+        # ...and partitioning must not change it further.
+        result = run_partitioned(scenario, 4, faults=campaign)
+        assert result.digest == faulted_reference.digest
+        assert result.restarts == 0
+
+    def test_chaos_and_sim_faults_compose(self):
+        scenario = scenarios()["escl-torus-16"]
+        campaign = escl_campaign("drop-burst", scenario.config())
+        faulted_reference = run_single(scenario, faults=campaign)
+        mixed = FaultScenario(
+            "mixed", list(campaign.events) + [
+                FaultEvent("kill_worker", 60_000, 0, target="0")])
+        result = run_partitioned(scenario, 4, faults=mixed,
+                                 backoff_base_s=0.01)
+        assert result.worker_kills == 1
+        assert result.restarts >= 1
+        assert result.digest == faulted_reference.digest
+
+
+# ----------------------------------------------------------------------
+# guard rails
+# ----------------------------------------------------------------------
+
+class TestGuardRails:
+    def test_supervisor_needs_two_partitions(self):
+        with pytest.raises(ScaleoutError, match=">= 2 workers"):
+            Supervisor(scenarios()["escl-torus-16"], 1)
+
+    def test_run_single_ignores_process_events(self, torus16_reference):
+        scenario = scenarios()["escl-torus-16"]
+        kills = FaultScenario("k", [
+            FaultEvent("kill_worker", 0, 0, target="*")])
+        result = run_single(scenario, faults=kills)
+        assert result.digest == torus16_reference.digest
