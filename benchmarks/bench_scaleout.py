@@ -8,7 +8,27 @@ content hashes, completion times, per-HUB counters — must equal the
 single-process reference, and so must the raw event count.  A second
 scenario at 256 CABs demonstrates the >= 256-node scale the CLI
 (``python -m repro scaleout``) reports on.
+
+Run as a script to capture the checked-in ``BENCH_scaleout.json``::
+
+    PYTHONPATH=src python benchmarks/bench_scaleout.py --out BENCH_scaleout.json
+
+The capture sweeps partitions x batch x transport on ``escl-torus-256``
+with interleaved best-of repeats (every repeat runs the single-process
+reference and every configuration back-to-back, so host noise hits all
+of them alike) and records *steady-state* wall — fork/build setup is
+timed separately (``setup_s``).  The document carries the host's CPU
+count: on a single-CPU container the partitioned configurations sum the
+same event work onto one core plus exchange overhead, so the recorded
+speedup has a hard ceiling of ~1.0x there; multi-core hosts are where
+the partitioned wall-clock win materialises (see docs/PERFORMANCE.md).
 """
+
+import argparse
+import json
+import os
+import platform
+import sys
 
 import pytest
 
@@ -17,6 +37,11 @@ from repro.scaleout import (escl_campaign, run_partitioned, run_single,
 from repro.stats import ExperimentTable
 
 PARTITION_COUNTS = (1, 2, 4)
+
+#: Script-mode sweep: (partitions, batch, transport).
+SWEEP = ((2, 1, "pipe"), (2, 8, "shm"),
+         (4, 1, "pipe"), (4, 8, "pipe"),
+         (4, 1, "shm"), (4, 8, "shm"))
 
 
 def scenario_scaling(name):
@@ -133,3 +158,101 @@ def test_escl6_recovery_overhead(benchmark):
     assert result["restarts"] >= 1, "the kill never fired"
     assert result["match"], \
         "recovery did not reproduce the clean single-process digest"
+
+
+# ----------------------------------------------------------------------
+# script mode: capture BENCH_scaleout.json
+# ----------------------------------------------------------------------
+
+def capture(scenario_name: str, repeats: int) -> dict:
+    """Interleaved best-of sweep of one scenario; returns its record."""
+    scenario = scenarios()[scenario_name]
+    best_single = None
+    best = {key: None for key in SWEEP}
+    reference = None
+    for repeat in range(repeats):
+        single = run_single(scenario)
+        reference = reference or single
+        assert single.digest == reference.digest
+        if best_single is None or single.wall_s < best_single.wall_s:
+            best_single = single
+        for key in SWEEP:
+            partitions, batch, transport = key
+            result = run_partitioned(scenario, partitions, batch=batch,
+                                     transport=transport)
+            held = best[key]
+            if held is None or result.wall_s < held.wall_s:
+                best[key] = result
+            print(f"  repeat {repeat + 1}/{repeats} p{partitions} "
+                  f"b{batch} {transport}: wall={result.wall_s:.4f}s "
+                  f"setup={result.setup_s:.4f}s", file=sys.stderr)
+    record = {
+        "events": best_single.events,
+        "digest": best_single.digest,
+        "single": {
+            "wall_s": round(best_single.wall_s, 6),
+            "setup_s": round(best_single.setup_s, 6),
+            "events_per_sec": round(best_single.events_per_sec, 1),
+        },
+        "partitioned": [],
+    }
+    for (partitions, batch, transport), result in best.items():
+        record["partitioned"].append({
+            "partitions": partitions,
+            "batch": batch,
+            "transport": transport,
+            "wall_s": round(result.wall_s, 6),
+            "setup_s": round(result.setup_s, 6),
+            "events_per_sec": round(result.events_per_sec, 1),
+            "rounds": result.rounds,
+            "advances": result.advances,
+            "envelopes": result.envelopes,
+            "speedup": round(best_single.wall_s / result.wall_s, 3)
+            if result.wall_s else 0.0,
+            "compute_s": round(sum(result.timing["compute_s"]), 6),
+            "wait_s": round(sum(result.timing["wait_s"]), 6),
+            "exchange_s": round(sum(result.timing["exchange_s"]), 6),
+            "digest_match": (result.digest == best_single.digest
+                             and result.events == best_single.events),
+        })
+    return record
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        description="capture BENCH_scaleout.json (interleaved best-of)")
+    parser.add_argument("--out", default="BENCH_scaleout.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scenarios", default="escl-torus-256",
+                        help="comma-separated E-SCL scenario names")
+    args = parser.parse_args(argv)
+    document = {
+        "schema": "nectar-bench-scaleout/1",
+        "seed": scenarios()["escl-torus-256"].config().seed,
+        "repeats": args.repeats,
+        "method": "interleaved best-of; wall_s is steady-state "
+                  "(fork/build setup timed separately as setup_s)",
+        "host": {
+            "cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": {},
+    }
+    failed = False
+    for name in args.scenarios.split(","):
+        print(f"capturing {name} ...", file=sys.stderr)
+        record = capture(name, args.repeats)
+        document["scenarios"][name] = record
+        failed |= any(not run["digest_match"]
+                      for run in record["partitioned"])
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -590,14 +590,20 @@ def run_scaleout(args: argparse.Namespace) -> int:
         for event in faults.events:
             print(f"    {event.describe()}")
     print()
-    print(f"{'parts':>5s} {'events':>9s} {'wall':>8s} {'events/s':>10s} "
-          f"{'goodput':>9s} {'rounds':>6s} {'restarts':>8s}  digest")
+    if counts != [1]:
+        print(f"  exchange: transport={args.transport}, "
+              f"batch={args.batch} window(s)/round")
+    print(f"{'parts':>5s} {'events':>9s} {'wall':>8s} {'setup':>7s} "
+          f"{'events/s':>10s} {'goodput':>9s} {'rounds':>6s} "
+          f"{'restarts':>8s}  digest")
     results = []
     for count in counts:
         try:
             result = run_single(scenario, faults=faults) if count == 1 \
                 else run_partitioned(scenario, count, faults=faults,
-                                     max_restarts=args.max_restarts)
+                                     max_restarts=args.max_restarts,
+                                     batch=args.batch,
+                                     transport=args.transport)
         except ScaleoutError as exc:
             print(f"\nSCALE-OUT FAILURE at {count} partitions: {exc}",
                   file=sys.stderr)
@@ -611,7 +617,7 @@ def run_scaleout(args: argparse.Namespace) -> int:
             return 1
         results.append(result)
         print(f"{count:5d} {result.events:9,} {result.wall_s:7.3f}s "
-              f"{result.events_per_sec:10,.0f} "
+              f"{result.setup_s:6.3f}s {result.events_per_sec:10,.0f} "
               f"{result.goodput_mbps:6.0f} Mb/s {result.rounds:6d} "
               f"{result.restarts:8d}  {result.digest[:16]}")
     digests = {result.digest for result in results}
@@ -847,6 +853,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-restarts", type=int, default=2, metavar="N",
         help="per-partition worker restart budget before the run fails "
              "with forensics (default: 2)")
+    scaleout.add_argument(
+        "--batch", type=int, default=8, metavar="K",
+        help="lookahead-width budget granted per barrier round; 1 = the "
+             "classic window-per-round protocol (default: 8)")
+    scaleout.add_argument(
+        "--transport", default="shm", choices=("pipe", "shm"),
+        help="envelope transport: shared-memory rings with a pipe "
+             "doorbell, or the plain pipe (default: shm)")
     scaleout.add_argument(
         "--json", metavar="FILE", default=None,
         help="also write per-run summaries as JSON")

@@ -4,10 +4,11 @@ Shards a Nectar installation across worker processes — one partition per
 HUB cluster group — synchronized with conservative lookahead equal to
 the inter-HUB fiber propagation delay.  Each worker runs the unmodified
 :mod:`repro.sim` engine over its own hubs and CAB stacks; a coordinator
-exchanges timestamped envelope batches over pipes and advances every
-worker to ``min(neighbour horizons) + lookahead``.  Partitioned runs are
-bit-identical (hard digest assert) to single-process runs of the same
-seeded scenario.
+exchanges timestamped envelope batches (shared-memory rings by default,
+plain pipes as fallback) and grants each worker multi-window budgets
+bounded by per-boundary lookahead.  Partitioned runs are bit-identical
+(hard digest assert) to single-process runs of the same seeded
+scenario.
 
 The coordinator is crash-tolerant (:mod:`repro.scaleout.supervisor`):
 workers that crash, hang, or get SIGKILLed by a chaos campaign are
@@ -20,10 +21,11 @@ recovery path.  See ``docs/SCALEOUT.md``.
 
 from .escl import (ScaleoutScenario, Traffic, fingerprint_digest,
                    merge_fragments, scenarios, spawn_traffic)
-from .partition import (Partitioning, PartitionSystem, lookahead_ns,
-                        partition_fabric)
+from .partition import (Partitioning, PartitionSystem, lookahead_matrix,
+                        lookahead_ns, partition_fabric)
 from .runner import ScaleoutResult, run_partitioned, run_single, verify
-from .supervisor import Supervisor, SupervisorOutcome, escl_campaign
+from .supervisor import (TRANSPORTS, Supervisor, SupervisorOutcome,
+                         escl_campaign)
 
 __all__ = [
     "Partitioning",
@@ -32,9 +34,11 @@ __all__ = [
     "ScaleoutScenario",
     "Supervisor",
     "SupervisorOutcome",
+    "TRANSPORTS",
     "Traffic",
     "escl_campaign",
     "fingerprint_digest",
+    "lookahead_matrix",
     "lookahead_ns",
     "merge_fragments",
     "partition_fabric",

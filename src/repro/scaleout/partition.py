@@ -46,8 +46,8 @@ from ..system.builder import CabStack
 from ..topology.fabrics import FabricSpec
 from .wire import KIND_READY, decode_item, encode_item, kind_of
 
-__all__ = ["Envelope", "Partitioning", "PartitionSystem", "lookahead_ns",
-           "partition_fabric"]
+__all__ = ["Envelope", "Partitioning", "PartitionSystem",
+           "lookahead_matrix", "lookahead_ns", "partition_fabric"]
 
 
 #: One cross-partition delivery: ``(arrival, seq, kind, dst_hub,
@@ -73,6 +73,73 @@ def lookahead_ns(cfg: NectarConfig) -> int:
         raise TopologyError(
             "scale-out needs fiber propagation_ns >= 1 for lookahead")
     return lookahead
+
+
+def lookahead_matrix(partitioning: "Partitioning",
+                     cfg: NectarConfig) -> list[list[int]]:
+    """Per-ordered-pair lookahead: ``matrix[src][dst]`` simulated ns.
+
+    The global :func:`lookahead_ns` is the worst case over the whole
+    fiber plant; this matrix is the per-*boundary* refinement.  For each
+    partition pair the direct bound is the minimum latency of any fiber
+    actually crossing that cut (today every fiber in a config shares
+    ``propagation_ns``, so each crossed cut contributes the same base —
+    the ``min()`` is the seam where per-link latencies drop in).  Pairs
+    with no direct cut link are bounded through the partition graph's
+    shortest path: a signal from ``src`` must transit intermediate
+    partitions, paying each cut's lookahead along the way, so
+    well-separated slices see a *wider* horizon than the global minimum
+    and the coordinator can grant them correspondingly larger windows.
+
+    The diagonal carries the shortest *feedback cycle*
+    ``min over j != i of (matrix[i][j] + matrix[j][i])``: the earliest a
+    signal committed in partition ``i`` can cause an effect back in
+    ``i`` via some other partition.  A batched coordinator needs this
+    term — inside one multi-window grant, a neighbour can *react* to
+    ``i``'s own sends, so ``i``'s horizon is bounded by its own trigger
+    time plus the round trip, not just by the other partitions'
+    triggers.  Every fabric is connected, so every entry is finite.
+    """
+    count = partitioning.num_partitions
+    base = lookahead_ns(cfg)
+    owners = partitioning.owner_map()
+    infinity = float("inf")
+    dist: list[list[Any]] = [[infinity] * count for _ in range(count)]
+    for index in range(count):
+        dist[index][index] = 0
+    for hub_a, _pa, hub_b, _pb in partitioning.cut_links():
+        src, dst = owners[hub_a], owners[hub_b]
+        # Minimum fiber latency crossing this cut, in either direction
+        # (every cut link is a bidirectional fiber pair).
+        if base < dist[src][dst]:
+            dist[src][dst] = base
+            dist[dst][src] = base
+    for via in range(count):
+        row_via = dist[via]
+        for src in range(count):
+            through = dist[src][via]
+            if through == infinity:
+                continue
+            row_src = dist[src]
+            for dst in range(count):
+                candidate = through + row_via[dst]
+                if candidate < row_src[dst]:
+                    row_src[dst] = candidate
+    for src in range(count):
+        for dst in range(count):
+            if src != dst and dist[src][dst] == infinity:
+                raise TopologyError(
+                    f"partition {src} cannot reach partition {dst}; "
+                    f"the fabric is disconnected")
+    for index in range(count):
+        # Any closed walk leaves through some partition ``via`` and
+        # comes back, so the shortest-path sum is both a lower bound
+        # and achievable.
+        dist[index][index] = min(
+            (dist[index][via] + dist[via][index]
+             for via in range(count) if via != index),
+            default=0)
+    return [[int(value) for value in row] for row in dist]
 
 
 @dataclass(frozen=True)

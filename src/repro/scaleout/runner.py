@@ -23,6 +23,13 @@ produced it — each round is causally closed, and each new horizon is
 strictly later than the last window, so the loop always progresses.
 The run terminates when every worker is idle and no envelopes remain.
 
+The supervisor generalizes step 2: with ``batch=k`` it grants each
+worker up to ``k`` lookahead-widths per round (bounded by per-boundary
+horizons from :func:`~repro.scaleout.partition.lookahead_matrix`),
+collapsing ``k`` classic rounds into one exchange; ``batch=1`` with a
+uniform fabric reproduces the windows above exactly.  See
+``docs/SCALEOUT.md`` ("Batched windows") for the soundness argument.
+
 On top of the protocol, the supervisor recovers dead or hung workers by
 respawn + window-log replay (bounded restarts, exponential backoff) and
 can apply fault campaigns — both in-simulation overlays, sliced per
@@ -67,6 +74,17 @@ class ScaleoutResult:
     replayed_windows: int = 0
     #: Workers SIGKILLed by chaos (``kill_worker``) campaign events.
     worker_kills: int = 0
+    #: One-time startup cost — worker fork + fabric build (partitioned)
+    #: or fabric build + traffic spawn (single-process).  Kept out of
+    #: ``wall_s`` so ``events_per_sec`` measures steady-state work.
+    setup_s: float = 0.0
+    #: Advance messages actually sent (idle workers are elided per
+    #: round, so this can be well below ``rounds * partitions``).
+    advances: int = 0
+    #: Per-partition ``{"compute_s": [...], "wait_s": [...],
+    #: "exchange_s": [...]}`` round-timing breakdown (empty for
+    #: single-process runs).
+    timing: dict[str, list[float]] = field(default_factory=dict)
 
     @property
     def digest(self) -> str:
@@ -102,9 +120,11 @@ class ScaleoutResult:
             "events": self.events,
             "sim_ns": self.sim_ns,
             "wall_s": round(self.wall_s, 6),
+            "setup_s": round(self.setup_s, 6),
             "events_per_sec": round(self.events_per_sec, 1),
             "goodput_mbps": round(self.goodput_mbps, 3),
             "rounds": self.rounds,
+            "advances": self.advances,
             "envelopes": self.envelopes,
             "restarts": self.restarts,
             "replayed_windows": self.replayed_windows,
@@ -123,6 +143,7 @@ def run_single(scenario: ScaleoutScenario,
     (``kill_worker``) are meaningless here and silently dropped — there
     are no worker processes to kill.
     """
+    setup_start = time.perf_counter()
     system = build_system(scenario.fabric, scenario.config())
     if faults is not None:
         sim_faults, _process_events = faults.split_process_events()
@@ -136,7 +157,8 @@ def run_single(scenario: ScaleoutScenario,
     fingerprint = merge_fragments([traffic.fragment()])
     return ScaleoutResult(scenario.name, 1, system.sim.events_processed,
                           system.now, wall, rounds=0, envelopes=0,
-                          fingerprint=fingerprint)
+                          fingerprint=fingerprint,
+                          setup_s=start - setup_start)
 
 
 def run_partitioned(scenario: ScaleoutScenario, num_partitions: int, *,
@@ -144,6 +166,7 @@ def run_partitioned(scenario: ScaleoutScenario, num_partitions: int, *,
                     hang_timeout_s: float = 600.0,
                     backoff_base_s: float = 0.05,
                     snapshot_every: int = 0,
+                    batch: int = 8, transport: str = "shm",
                     registry=None) -> ScaleoutResult:
     """Run the scenario sharded across ``num_partitions`` processes.
 
@@ -151,9 +174,14 @@ def run_partitioned(scenario: ScaleoutScenario, num_partitions: int, *,
     crash, hang, or get SIGKILLed by a chaos campaign are respawned and
     replayed from the window log, up to ``max_restarts`` times per
     partition, after which :class:`~repro.errors.ScaleoutError` carries
-    the per-partition forensics.  ``registry`` (a
+    the per-partition forensics.  ``batch`` is the budget of
+    lookahead-widths granted per barrier round (1 = the classic
+    window-per-round protocol) and ``transport`` selects how envelope
+    blocks travel (``"shm"`` ring buffers or the plain ``"pipe"``); both
+    leave the digest bit-identical.  ``registry`` (a
     :class:`~repro.observe.MetricRegistry`) mirrors the recovery
-    counters as ``scaleout.*`` metrics.
+    counters plus the per-partition round-timing breakdown as
+    ``scaleout.*`` metrics.
     """
     if num_partitions < 2:
         return run_single(scenario, faults=faults)
@@ -161,7 +189,7 @@ def run_partitioned(scenario: ScaleoutScenario, num_partitions: int, *,
         scenario, num_partitions, faults=faults,
         max_restarts=max_restarts, hang_timeout_s=hang_timeout_s,
         backoff_base_s=backoff_base_s, snapshot_every=snapshot_every,
-        registry=registry)
+        batch=batch, transport=transport, registry=registry)
     outcome = supervisor.run()
     return ScaleoutResult(
         scenario.name, num_partitions, outcome.events, outcome.sim_ns,
@@ -170,7 +198,9 @@ def run_partitioned(scenario: ScaleoutScenario, num_partitions: int, *,
         fingerprint=merge_fragments(outcome.fragments),
         restarts=outcome.restarts,
         replayed_windows=outcome.replayed_windows,
-        worker_kills=outcome.worker_kills)
+        worker_kills=outcome.worker_kills,
+        setup_s=outcome.setup_s, advances=outcome.advances,
+        timing=outcome.timing)
 
 
 def verify(scenario: ScaleoutScenario,

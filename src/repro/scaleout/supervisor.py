@@ -54,8 +54,40 @@ recoverable event:
   supervisor itself, SIGKILLing live workers mid-run to exercise the
   recovery path end-to-end (``scaleout --chaos``).
 
-See ``docs/SCALEOUT.md`` ("Fault tolerance") for the recovery-soundness
-argument.
+Beyond crash tolerance, this coordinator is built for wall-clock
+throughput:
+
+* **Multi-window batched rounds.**  Each round grants worker ``i`` a
+  window ``W_i = min(H_i, N + batch * L_min) - 1``, where ``H_i`` is the
+  earliest instant any *other* partition could land a yet-unknown
+  envelope on ``i`` (its per-boundary horizon) and ``batch`` is the
+  budget of lookahead-widths granted per pipe round trip.  Every window
+  in the batch is causally closed at once — see ``docs/SCALEOUT.md`` —
+  so ``batch`` consecutive windows of the classic protocol collapse
+  into one exchange, with the worker's envelopes buffered in its outbox
+  and flushed once per round.
+
+* **Per-boundary lookahead.**  ``H_i`` is computed from
+  :func:`~repro.scaleout.partition.lookahead_matrix`: the minimum fiber
+  latency actually crossing each cut, closed over the partition graph's
+  shortest paths, instead of the single global minimum — partitions
+  separated by multiple cuts get proportionally wider windows.
+
+* **Shared-memory envelope transport.**  With ``transport="shm"``,
+  envelope blocks are batch-pickled into a per-worker-per-direction
+  :class:`~repro.scaleout.wire.ShmRing` and only a doorbell crosses the
+  pipe; ``transport="pipe"`` keeps the original pickle-through-pipe
+  path.  Either way the pipe remains the control channel the
+  multiplexed wait watches, and the window log stores *logical*
+  messages, so replay is transport-agnostic and re-grants identical
+  budgets.
+
+* **Idle-worker elision.**  A worker whose granted window contains no
+  local event and no due envelope is simply not messaged that round —
+  its state cannot change, so its last report stays authoritative.
+
+See ``docs/SCALEOUT.md`` ("Fault tolerance", "Batched windows") for the
+recovery- and batching-soundness arguments.
 """
 
 from __future__ import annotations
@@ -75,9 +107,15 @@ from ..faults.campaigns import build_campaign
 from ..faults.scenario import FaultEvent, FaultScenario
 from .escl import (ScaleoutScenario, fingerprint_digest, scenarios,
                    spawn_traffic)
-from .partition import PartitionSystem, lookahead_ns, partition_fabric
+from .partition import (PartitionSystem, lookahead_matrix, lookahead_ns,
+                        partition_fabric)
+from .wire import DEFAULT_RING_BYTES, Channel, ShmRing
 
-__all__ = ["Supervisor", "SupervisorOutcome", "escl_campaign"]
+__all__ = ["TRANSPORTS", "Supervisor", "SupervisorOutcome",
+           "escl_campaign"]
+
+#: Envelope transports the supervisor speaks.
+TRANSPORTS = ("pipe", "shm")
 
 #: Hard ceiling on the exponential restart backoff (seconds).
 _BACKOFF_CAP_S = 2.0
@@ -108,45 +146,61 @@ def escl_campaign(name: str, cfg, **overrides) -> FaultScenario:
 
 
 def _worker_main(conn, scenario_name: str, num_partitions: int,
-                 index: int, faults_spec: Optional[dict] = None) -> None:
+                 index: int, faults_spec: Optional[dict] = None,
+                 rings: Optional[tuple] = None) -> None:
     """Worker process: one partition, advanced in coordinator windows.
 
-    Replies in lock-step to coordinator commands:
+    Replies in lock-step to coordinator commands (through a
+    :class:`~repro.scaleout.wire.Channel`; ``rings`` is the fork-
+    inherited ``(coordinator->worker, worker->coordinator)`` shm pair,
+    or ``None`` for the plain pipe transport):
 
     * ``("advance", window, envelopes)`` → inject, run to the window,
-      answer ``("state", peek, outbox, events_processed)``.
+      answer ``("state", peek, outbox, events_processed, compute_s)``
+      where ``compute_s`` is the wall time this advance spent inside
+      inject + run — the worker's share of the round-timing breakdown.
     * ``("snapshot",)`` → answer ``("snapshot", fragment,
       events_processed, now)`` — the picklable fragment-so-far.
     * ``("finish",)`` → answer ``("result", fragment, events_processed,
       now)`` and exit.
 
-    Any exception is reported as ``("error", traceback_text)`` before
-    the worker exits non-zero, so the coordinator sees the worker-side
-    stack instead of a silent death.
+    Any exception is reported as ``("error", traceback_text)`` straight
+    down the raw pipe (never the ring — the ring may be the broken
+    part) before the worker exits non-zero, so the coordinator sees the
+    worker-side stack instead of a silent death.
     """
     try:
+        channel = Channel(conn) if rings is None \
+            else Channel(conn, tx=rings[1], rx=rings[0])
         scenario = scenarios()[scenario_name]
         partitioning = partition_fabric(scenario.fabric, num_partitions)
         system = PartitionSystem(partitioning, index, scenario.config())
         if faults_spec is not None:
             system.attach_faults(FaultScenario.from_dict(faults_spec))
         traffic = spawn_traffic(scenario, system)
-        conn.send(("state", system.peek(), system.drain_outbox(),
-                   system.sim.events_processed))
+        channel.send(("state", system.peek(), system.drain_outbox(),
+                      system.sim.events_processed, 0.0))
         while True:
-            message = conn.recv()
+            message = channel.recv()
             if message[0] == "advance":
                 _tag, window, envelopes = message
+                began = time.perf_counter()
                 system.inject(envelopes)
-                system.run(until=window)
-                conn.send(("state", system.peek(), system.drain_outbox(),
-                           system.sim.events_processed))
+                # Grants are monotone per worker (horizons only ever
+                # move forward), so the clamp is normally a no-op; it
+                # pins the invariant instead of letting a violation
+                # surface as run()'s in-the-past ValueError mid-run.
+                system.run(until=max(window, system.now))
+                compute = time.perf_counter() - began
+                channel.send(("state", system.peek(),
+                              system.drain_outbox(),
+                              system.sim.events_processed, compute))
             elif message[0] == "snapshot":
-                conn.send(("snapshot", traffic.fragment(),
-                           system.sim.events_processed, system.now))
+                channel.send(("snapshot", traffic.fragment(),
+                              system.sim.events_processed, system.now))
             elif message[0] == "finish":
-                conn.send(("result", traffic.fragment(),
-                           system.sim.events_processed, system.now))
+                channel.send(("result", traffic.fragment(),
+                              system.sim.events_processed, system.now))
                 conn.close()
                 return
             else:  # pragma: no cover - protocol misuse
@@ -178,6 +232,20 @@ class _Worker:
         self.index = index
         self.process: Optional[mp.process.BaseProcess] = None
         self.conn = None
+        #: The transport wrapper around ``conn`` (pipe or shm-backed).
+        self.channel: Optional[Channel] = None
+        #: ``(coordinator->worker, worker->coordinator)`` shm rings for
+        #: the current incarnation (``None`` under the pipe transport).
+        self.rings: Optional[tuple] = None
+        #: Round-timing breakdown, accumulated across the run:
+        #: worker-reported seconds inside inject+run, coordinator-side
+        #: seconds blocked on this worker past its reported compute,
+        #: and coordinator-side seconds encoding/decoding its messages.
+        self.compute_s = 0.0
+        self.wait_s = 0.0
+        self.exchange_s = 0.0
+        #: perf_counter at the last advance send (wait accounting).
+        self.sent_at: Optional[float] = None
         #: Every message sent since the *first* spawn — the replay log.
         self.log: list[tuple] = []
         #: Responses absorbed so far.  Position 0 is the initial state
@@ -227,6 +295,14 @@ class SupervisorOutcome:
     replayed_windows: int
     worker_kills: int
     snapshots_verified: int
+    #: Worker fork + fabric-build time (until every initial state
+    #: report landed); ``wall_s`` above is steady-state exchange only.
+    setup_s: float = 0.0
+    #: Advance messages actually sent (idle workers are elided).
+    advances: int = 0
+    #: Per-partition ``{"compute_s": [...], "wait_s": [...],
+    #: "exchange_s": [...]}`` round-timing breakdown.
+    timing: dict[str, list[float]] = field(default_factory=dict)
     forensics: list[dict[str, Any]] = field(default_factory=list)
 
 
@@ -243,21 +319,38 @@ class Supervisor:
                  faults: Optional[FaultScenario] = None,
                  max_restarts: int = 2, hang_timeout_s: float = 600.0,
                  backoff_base_s: float = 0.05, snapshot_every: int = 0,
+                 batch: int = 8, transport: str = "shm",
+                 ring_bytes: int = DEFAULT_RING_BYTES,
                  registry=None) -> None:
         if num_partitions < 2:
             raise ScaleoutError(
                 "the supervisor coordinates >= 2 workers; "
                 "use run_single for one process")
+        if batch < 1:
+            raise ScaleoutError(
+                f"batch must be >= 1 window per round, got {batch}")
+        if transport not in TRANSPORTS:
+            raise ScaleoutError(
+                f"unknown transport {transport!r} "
+                f"(have: {', '.join(TRANSPORTS)})")
         self.scenario = scenario
         self.num_partitions = num_partitions
         self.max_restarts = max_restarts
         self.hang_timeout_s = hang_timeout_s
         self.backoff_base_s = backoff_base_s
         self.snapshot_every = snapshot_every
+        self.batch = batch
+        self.transport = transport
+        self.ring_bytes = ring_bytes
         self.partitioning = partition_fabric(scenario.fabric,
                                              num_partitions)
         self.owners = self.partitioning.owner_map()
-        self.lookahead = lookahead_ns(scenario.config())
+        cfg = scenario.config()
+        self.lookahead = lookahead_ns(cfg)
+        #: ``distance[src][dst]``: earliest a signal committed in
+        #: ``src`` can land in ``dst`` (per-boundary lookahead, closed
+        #: over multi-cut paths).
+        self.distance = lookahead_matrix(self.partitioning, cfg)
         self.ctx = mp.get_context("fork")
         self.workers = [_Worker(i) for i in range(num_partitions)]
         #: Per destination partition: (arrival, src, seq, envelope).
@@ -275,11 +368,14 @@ class Supervisor:
         self._kills_fired: set[int] = set()
         self.rounds = 0
         self.envelopes = 0
+        self.advances = 0
         self.restarts = 0
         self.replayed_windows = 0
         self.worker_kills = 0
         self.snapshots_verified = 0
+        self.setup_s = 0.0
         self._counters = {}
+        self._gauges = {}
         if registry is not None:
             self._counters = {
                 "restarts": registry.counter(
@@ -294,7 +390,34 @@ class Supervisor:
                     "scaleout.worker_kills",
                     "workers SIGKILLed by chaos campaign events",
                     unit="kills"),
+                "rounds": registry.counter(
+                    "scaleout.rounds",
+                    "coordinator barrier rounds driven", unit="rounds"),
+                "advances": registry.counter(
+                    "scaleout.advances",
+                    "advance grants actually sent (idle elision skips "
+                    "the rest)", unit="messages"),
             }
+            self._gauges = {"setup_s": registry.gauge(
+                "scaleout.setup_s",
+                "worker fork + fabric build time", unit="s")}
+            for index in range(num_partitions):
+                self._counters[f"p{index}.envelopes"] = registry.counter(
+                    f"scaleout.p{index}.envelopes",
+                    f"envelopes routed to partition {index}",
+                    unit="envelopes")
+                self._counters[f"p{index}.restarts"] = registry.counter(
+                    f"scaleout.p{index}.restarts",
+                    f"partition {index} worker respawns", unit="restarts")
+                for phase, what in (
+                        ("compute_s", "worker-reported inject+run time"),
+                        ("wait_s", "coordinator time blocked past the "
+                                   "worker's reported compute"),
+                        ("exchange_s", "coordinator encode/decode/"
+                                       "send/recv time")):
+                    self._gauges[f"p{index}.{phase}"] = registry.gauge(
+                        f"scaleout.p{index}.{phase}",
+                        f"partition {index}: {what}", unit="s")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -308,29 +431,18 @@ class Supervisor:
                 self._spawn(worker)
             self._fire_kills(window=0)
             self._collect()
-            while True:
-                candidates = [p for p in self.peeks if p is not None]
-                candidates.extend(entry[0] for batch in self.pending
-                                  for entry in batch)
-                if not candidates:
-                    break
-                window = min(candidates) + self.lookahead - 1
-                self.rounds += 1
-                for worker in self.workers:
-                    batch = sorted(e for e in self.pending[worker.index]
-                                   if e[0] <= window)
-                    self.pending[worker.index] = [
-                        e for e in self.pending[worker.index]
-                        if e[0] > window]
-                    self._send(worker, ("advance", window,
-                                        [entry[3] for entry in batch]))
-                    worker.last_window = window
-                self._fire_kills(window)
-                self._collect()
+            # Everything up to the last initial state report is setup —
+            # fork, fabric build, traffic spawn — not exchange.
+            self.setup_s = time.perf_counter() - start
+            self._set_gauge("setup_s", self.setup_s)
+            steady = time.perf_counter()
+            while self._round():
+                pass
             for worker in self.workers:
                 self._send(worker, ("finish",))
             self._collect()
-            wall = time.perf_counter() - start
+            wall = time.perf_counter() - steady
+            self._publish_timing()
         finally:
             self._reap_all()
         events, sim_ns, fragments = 0, 0, []
@@ -346,14 +458,97 @@ class Supervisor:
             replayed_windows=self.replayed_windows,
             worker_kills=self.worker_kills,
             snapshots_verified=self.snapshots_verified,
+            setup_s=self.setup_s, advances=self.advances,
+            timing={
+                "compute_s": [w.compute_s for w in self.workers],
+                "wait_s": [w.wait_s for w in self.workers],
+                "exchange_s": [w.exchange_s for w in self.workers],
+            },
             forensics=[w.forensics() for w in self.workers])
+
+    def _round(self) -> bool:
+        """Drive one batched barrier round; False when the run is done.
+
+        Per-partition horizons: ``T[j]`` is the earliest instant
+        partition ``j`` could commit a *new* cross-partition message —
+        the min of its next local event and every undelivered envelope
+        arrival destined to it (an injected envelope can trigger an
+        immediate send).  Worker ``i`` may then safely consume every
+        event up to ``grant_i = min(H_i, N + batch * L_min) - 1`` where
+        ``H_i = min over all j of (T[j] + distance[j][i])``: any
+        yet-unknown envelope reaching ``i`` is the tail of a causal
+        chain of commits starting from some trigger ``T[j]``, and each
+        hop of the chain pays at least the crossed cut's lookahead, so
+        the chain's arrival is bounded below by the shortest-path
+        closure in :func:`~repro.scaleout.partition.lookahead_matrix`.
+        The ``j == i`` term (the matrix diagonal: shortest feedback
+        cycle) is what keeps *batched* rounds sound — inside one wide
+        grant a neighbour can react to ``i``'s own sends, so ``i`` may
+        not outrun its own trigger plus the round trip.  The batch
+        budget then caps how far a round may run ahead of the global
+        horizon ``N``.  Workers with nothing to do inside their grant
+        (no due envelope, no local event) are elided from the round
+        entirely.
+        """
+        horizons: list[Optional[int]] = []
+        for index in range(self.num_partitions):
+            earliest = self.peeks[index]
+            for entry in self.pending[index]:
+                if earliest is None or entry[0] < earliest:
+                    earliest = entry[0]
+            horizons.append(earliest)
+        finite = [t for t in horizons if t is not None]
+        if not finite:
+            return False
+        cap = min(finite) + self.batch * self.lookahead
+        self.rounds += 1
+        self._bump("rounds")
+        distance = self.distance
+        for worker in self.workers:
+            index = worker.index
+            bound = cap
+            for source, available in enumerate(horizons):
+                if available is None:
+                    continue
+                reach = available + distance[source][index]
+                if reach < bound:
+                    bound = reach
+            grant = bound - 1
+            pending = self.pending[index]
+            batch = sorted(e for e in pending if e[0] <= grant)
+            peek = self.peeks[index]
+            if not batch and (peek is None or peek > grant):
+                # Nothing can happen in this worker before ``grant``;
+                # its last state report stays authoritative, so skip
+                # the round trip.  (The worker that owns the global
+                # minimum always has work, so rounds always progress.)
+                continue
+            if batch:
+                self.pending[index] = [e for e in pending
+                                       if e[0] > grant]
+            self._send(worker, ("advance", grant,
+                                [entry[3] for entry in batch]))
+            self.advances += 1
+            self._bump("advances")
+            worker.last_window = grant
+        self._fire_kills(cap - 1)
+        self._collect()
+        return True
 
     def _spawn(self, worker: _Worker) -> None:
         parent, child = self.ctx.Pipe()
+        rings = None
+        if self.transport == "shm":
+            # Fresh rings per incarnation, created *before* the fork so
+            # the child inherits the mappings — replay over a respawn
+            # never reads a segment the dead incarnation wrote.
+            self._unlink_rings(worker)
+            rings = (ShmRing(self.ring_bytes), ShmRing(self.ring_bytes))
+            worker.rings = rings
         process = self.ctx.Process(
             target=_worker_main,
             args=(child, self.scenario.name, self.num_partitions,
-                  worker.index, self._faults_spec),
+                  worker.index, self._faults_spec, rings),
             name=(f"scaleout-{self.scenario.name}-p{worker.index}"
                   f"-r{worker.restarts}"),
             daemon=True)
@@ -362,6 +557,8 @@ class Supervisor:
         child.close()
         worker.process = process
         worker.conn = parent
+        worker.channel = (Channel(parent) if rings is None
+                          else Channel(parent, tx=rings[0], rx=rings[1]))
         worker.deadline = time.monotonic() + self.hang_timeout_s
 
     # ------------------------------------------------------------------
@@ -370,10 +567,18 @@ class Supervisor:
 
     def _send(self, worker: _Worker, message: tuple) -> None:
         """Log then send; a broken pipe triggers recovery (which will
-        resend the just-logged message as the replay tail)."""
+        resend the just-logged message as the replay tail).
+
+        The log holds the *logical* message; the channel decides how it
+        travels (ring block vs pipe), so replay over a fresh incarnation
+        with fresh rings re-grants byte-identical budgets.
+        """
         worker.log.append(message)
+        began = time.perf_counter()
         try:
-            worker.conn.send(message)
+            worker.channel.send(message)
+            worker.exchange_s += time.perf_counter() - began
+            worker.sent_at = began
             worker.deadline = time.monotonic() + self.hang_timeout_s
         except (BrokenPipeError, OSError):
             self._recover(worker, "crash",
@@ -411,7 +616,7 @@ class Supervisor:
                     continue
                 progressed = True
                 try:
-                    message = worker.conn.recv()
+                    message = self._recv(worker)
                 except (EOFError, OSError):
                     self._recover(worker, "crash",
                                   "pipe EOF while awaiting a response")
@@ -428,7 +633,7 @@ class Supervisor:
                 # still be buffered in the pipe — drain it first.
                 if worker.conn.poll(0):
                     try:
-                        message = worker.conn.recv()
+                        message = self._recv(worker)
                     except (EOFError, OSError):
                         self._recover(worker, "crash",
                                       "worker exited mid-response")
@@ -438,6 +643,20 @@ class Supervisor:
                 self._recover(worker, "crash",
                               "worker process exited without answering")
                 break
+
+    def _recv(self, worker: _Worker) -> tuple:
+        """Raw pipe receive plus timed shm-block decode.
+
+        The blocking happens in :func:`multiprocessing.connection.wait`
+        before this is called (that is *wait* time, charged in
+        :meth:`_absorb`); what this times — unpickling the doorbell's
+        ring block — is exchange cost.
+        """
+        raw = worker.conn.recv()
+        began = time.perf_counter()
+        message = worker.channel.decode(raw)
+        worker.exchange_s += time.perf_counter() - began
+        return message
 
     def _handle(self, worker: _Worker, message: tuple) -> None:
         """Absorb one in-order response from a live worker."""
@@ -476,8 +695,14 @@ class Supervisor:
                 f"{worker.index}: unknown worker response {tag!r}")
 
     def _absorb(self, worker: _Worker, state: tuple) -> None:
-        """Route one state report's envelopes; track peek and events."""
-        _tag, peek, outbox, events = state
+        """Route one state report's envelopes; track peek, events,
+        and the compute/wait split for this round trip."""
+        _tag, peek, outbox, events, compute = state
+        worker.compute_s += compute
+        if worker.sent_at is not None:
+            elapsed = time.perf_counter() - worker.sent_at
+            worker.wait_s += max(elapsed - compute, 0.0)
+            worker.sent_at = None
         self.peeks[worker.index] = peek
         worker.events = events
         self.envelopes += len(outbox)
@@ -485,6 +710,7 @@ class Supervisor:
             destination = self.owners[envelope[3]]
             self.pending[destination].append(
                 (envelope[0], worker.index, envelope[1], envelope))
+            self._bump(f"p{destination}.envelopes")
 
     # ------------------------------------------------------------------
     # failure handling: record, respawn, replay
@@ -504,6 +730,7 @@ class Supervisor:
             worker.restarts += 1
             self.restarts += 1
             self._bump("restarts")
+            self._bump(f"p{worker.index}.restarts")
             delay = min(self.backoff_base_s * (2 ** (worker.restarts - 1)),
                         _BACKOFF_CAP_S)
             time.sleep(delay)
@@ -523,6 +750,9 @@ class Supervisor:
         The at-most-one position ``== worker.acked`` is the response the
         dead incarnation never gave; it is absorbed normally.
         """
+        # The pre-crash send timestamp would fold restart backoff into
+        # wait_s; replay round trips are recovery cost, not wait.
+        worker.sent_at = None
         message = self._recv_replay(worker)
         if message[0] != "state":  # pragma: no cover - protocol misuse
             raise ScaleoutError(
@@ -540,7 +770,7 @@ class Supervisor:
         for position in range(1, log_len + 1):
             entry = worker.log[position - 1]
             try:
-                worker.conn.send(entry)
+                worker.channel.send(entry)
             except (BrokenPipeError, OSError):
                 raise _WorkerDied("crash",
                                   "pipe broke during replay",
@@ -593,7 +823,7 @@ class Supervisor:
                 timeout=remaining)
             if worker.conn in ready or worker.conn.poll(0):
                 try:
-                    return worker.conn.recv()
+                    return worker.channel.decode(worker.conn.recv())
                 except (EOFError, OSError):
                     raise _WorkerDied(
                         "crash", "pipe EOF during replay",
@@ -660,7 +890,19 @@ class Supervisor:
         if worker.conn is not None:
             worker.conn.close()
             worker.conn = None
+        worker.channel = None
+        self._unlink_rings(worker)
         worker.process = None
+
+    def _unlink_rings(self, worker: _Worker) -> None:
+        """Release the worker's shm segments (process already gone)."""
+        rings = worker.rings
+        if rings is None:
+            return
+        worker.rings = None
+        for ring in rings:
+            ring.close()
+            ring.unlink()
 
     def _reap_all(self) -> None:
         for worker in self.workers:
@@ -700,3 +942,16 @@ class Supervisor:
         counter = self._counters.get(name)
         if counter is not None and amount > 0:
             counter.inc(amount)
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            gauge.set(value)
+
+    def _publish_timing(self) -> None:
+        for worker in self.workers:
+            self._set_gauge(f"p{worker.index}.compute_s",
+                            worker.compute_s)
+            self._set_gauge(f"p{worker.index}.wait_s", worker.wait_s)
+            self._set_gauge(f"p{worker.index}.exchange_s",
+                            worker.exchange_s)

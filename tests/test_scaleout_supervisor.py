@@ -133,6 +133,25 @@ class TestChaosRecovery:
                                     merge_fragments(outcome.fragments))
         assert digest == torus16_reference.digest
 
+    @pytest.mark.parametrize("batch,transport", [(1, "shm"),
+                                                 (8, "pipe"),
+                                                 (8, "shm")])
+    def test_kill_mid_batch_recovers_bit_identical(self, torus16_reference,
+                                                   batch, transport):
+        # The window log stores logical grants, so replay after a kill
+        # that lands mid-batch re-grants identical budgets under every
+        # batch size and transport.
+        scenario = scenarios()["escl-torus-16"]
+        kills = escl_campaign("worker-kill", scenario.config(),
+                              partitions=4)
+        result = run_partitioned(scenario, 4, faults=kills,
+                                 batch=batch, transport=transport,
+                                 backoff_base_s=0.01)
+        assert result.worker_kills >= 1
+        assert result.restarts >= 1
+        assert result.digest == torus16_reference.digest
+        assert result.events == torus16_reference.events
+
     def test_recovery_counters_reach_the_registry(self, torus16_reference):
         from repro.observe import MetricRegistry
         scenario = scenarios()["escl-torus-16"]
@@ -146,6 +165,25 @@ class TestChaosRecovery:
             == result.worker_kills
         assert registry.get("scaleout.replayed_windows").value() \
             == result.replayed_windows
+
+    def test_per_partition_metrics_reach_the_registry(self):
+        from repro.observe import MetricRegistry
+        scenario = scenarios()["escl-torus-16"]
+        registry = MetricRegistry()
+        result = run_partitioned(scenario, 4, registry=registry)
+        assert registry.get("scaleout.rounds").value() == result.rounds
+        assert registry.get("scaleout.advances").value() == result.advances
+        assert registry.get("scaleout.setup_s").value() == \
+            pytest.approx(result.setup_s)
+        routed = sum(registry.get(f"scaleout.p{i}.envelopes").value()
+                     for i in range(4))
+        assert routed == result.envelopes
+        for index in range(4):
+            assert registry.get(f"scaleout.p{index}.restarts").value() == 0
+            for phase in ("compute_s", "wait_s", "exchange_s"):
+                gauge = registry.get(f"scaleout.p{index}.{phase}")
+                assert gauge.value() == \
+                    pytest.approx(result.timing[phase][index])
 
     def test_summary_includes_recovery_counters(self, torus16_reference):
         summary = torus16_reference.summary()
@@ -270,6 +308,13 @@ class TestGuardRails:
     def test_supervisor_needs_two_partitions(self):
         with pytest.raises(ScaleoutError, match=">= 2 workers"):
             Supervisor(scenarios()["escl-torus-16"], 1)
+
+    def test_supervisor_rejects_bad_batch_and_transport(self):
+        scenario = scenarios()["escl-torus-16"]
+        with pytest.raises(ScaleoutError, match="batch must be >= 1"):
+            Supervisor(scenario, 2, batch=0)
+        with pytest.raises(ScaleoutError, match="unknown transport"):
+            Supervisor(scenario, 2, transport="carrier-pigeon")
 
     def test_run_single_ignores_process_events(self, torus16_reference):
         scenario = scenarios()["escl-torus-16"]

@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
-"""Render and compare ``BENCH_engine.json`` documents.
+"""Render and compare ``BENCH_engine.json`` / ``BENCH_scaleout.json``.
 
 Usage::
 
     python tools/perf_report.py BENCH_engine.json
+    python tools/perf_report.py BENCH_scaleout.json
     python tools/perf_report.py --compare old.json new.json [--min-ratio 2.0]
 
 The single-file form prints every run the document carries (the file
 accumulates runs, e.g. ``pre-pr-baseline`` then ``optimized``) and the
-speedup of the last run over the first.  ``--compare`` lines up one run
-from each of two files — CI's perf-smoke job uses it report-only; pass
-``--min-ratio`` to turn a shortfall into a non-zero exit instead.
+speedup of the last run over the first.  A scale-out document instead
+renders the partitions x batch x transport table with each
+configuration's steady-state speedup over the single-process reference.
+``--compare`` lines up one run from each of two engine files — CI's
+perf-smoke job uses it report-only; pass ``--min-ratio`` to turn a
+shortfall into a non-zero exit instead.
 """
 
 from __future__ import annotations
@@ -22,14 +26,17 @@ import sys
 from typing import Any, Optional
 
 SCHEMA = "nectar-bench-engine/1"
+SCHEMA_SCALEOUT = "nectar-bench-scaleout/1"
 
 
-def load(path: str) -> dict[str, Any]:
+def load(path: str, schemas: tuple[str, ...] = (SCHEMA,
+                                                SCHEMA_SCALEOUT)) -> dict[str, Any]:
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
-    if document.get("schema") != SCHEMA:
+    if document.get("schema") not in schemas:
         raise SystemExit(f"{path}: unexpected schema "
-                         f"{document.get('schema')!r} (want {SCHEMA!r})")
+                         f"{document.get('schema')!r} "
+                         f"(want one of {', '.join(schemas)})")
     return document
 
 
@@ -58,8 +65,40 @@ def render_table(rows: list[tuple[str, ...]], headers: tuple[str, ...]) -> str:
     return "\n".join([fmt(headers), rule] + [fmt(row) for row in rows])
 
 
+def show_scaleout(path: str, document: dict[str, Any]) -> int:
+    host = document.get("host", {})
+    print(f"{path} (seed {document.get('seed')}, "
+          f"{host.get('cpus', '?')} cpu(s), "
+          f"best of {document.get('repeats', '?')} interleaved):")
+    for name, data in sorted(document.get("scenarios", {}).items()):
+        single = data["single"]
+        print(f"\n{name}: {data['events']:,} events, single-process "
+              f"wall {single['wall_s']:.4f}s "
+              f"(+{single['setup_s']:.4f}s setup), "
+              f"digest {data['digest'][:12]}")
+        rows = []
+        for run in data.get("partitioned", []):
+            rows.append((f"p{run['partitions']}",
+                         str(run["batch"]),
+                         run["transport"],
+                         f"{run['wall_s']:.4f}",
+                         f"{run['setup_s']:.4f}",
+                         str(run["rounds"]),
+                         str(run["advances"]),
+                         f"{run['speedup']:.2f}x",
+                         "yes" if run.get("digest_match", True) else "NO"))
+        if rows:
+            print(render_table(
+                rows, ("parts", "batch", "transport", "wall_s",
+                       "setup_s", "rounds", "advances", "speedup",
+                       "digest=")))
+    return 0
+
+
 def show_document(path: str) -> int:
     document = load(path)
+    if document.get("schema") == SCHEMA_SCALEOUT:
+        return show_scaleout(path, document)
     runs = document.get("runs", {})
     print(f"{path} (seed {document.get('seed')}):")
     for label, run in runs.items():
@@ -134,10 +173,10 @@ def main(argv: list[str]) -> int:
     if args.compare:
         if len(args.paths) != 2:
             parser.error("--compare needs exactly two files: OLD NEW")
-        old_label, old = pick_run(load(args.paths[0]),
+        old_label, old = pick_run(load(args.paths[0], (SCHEMA,)),
                                   args.old_label or args.label,
                                   args.paths[0])
-        new_label, new = pick_run(load(args.paths[1]),
+        new_label, new = pick_run(load(args.paths[1], (SCHEMA,)),
                                   args.new_label or args.label,
                                   args.paths[1])
         print(f"compare {args.paths[0]}[{old_label}] -> "
